@@ -1,0 +1,148 @@
+// Command pbg-node runs one component of PBG's distributed mode (§4.2,
+// Figure 2) as a standalone process, so a real multi-host deployment can be
+// assembled from the same pieces the in-process harness uses:
+//
+//	pbg-node -role lock -listen :7001 -partitions 16
+//	pbg-node -role partition -listen :7002 -nodes 100000 -dim 100
+//	pbg-node -role param -listen :7003
+//	pbg-node -role trainer -rank 0 -lock host1:7001 \
+//	    -partition-servers host1:7002,host2:7002 -param-servers host1:7003 \
+//	    -nodes 100000 -degree 10 -p 16 -dim 100 -epochs 10
+//
+// Trainer nodes regenerate the deterministic synthetic graph locally (the
+// stand-in for the paper's shared filesystem of edge buckets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/rpc"
+	"strings"
+	"time"
+
+	"pbg/internal/datagen"
+	"pbg/internal/dist"
+	"pbg/internal/graph"
+	"pbg/internal/partition"
+	"pbg/internal/train"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "", "lock, partition, param, or trainer")
+		listen  = flag.String("listen", "127.0.0.1:0", "listen address for server roles")
+		nParts  = flag.Int("partitions", 4, "partition grid size P (lock role)")
+		nodes   = flag.Int("nodes", 10000, "graph nodes (partition/trainer roles)")
+		avgDeg  = flag.Int("degree", 10, "average out-degree of the synthetic graph")
+		p       = flag.Int("p", 4, "entity partitions (trainer role)")
+		dim     = flag.Int("dim", 64, "embedding dimension")
+		epochs  = flag.Int("epochs", 10, "epochs (trainer role)")
+		rank    = flag.Int("rank", 0, "trainer rank")
+		workers = flag.Int("workers", 4, "HOGWILD workers")
+		lock    = flag.String("lock", "", "lock server address (trainer)")
+		pservs  = flag.String("partition-servers", "", "comma-separated partition server addresses (trainer)")
+		qservs  = flag.String("param-servers", "", "comma-separated parameter server addresses (trainer)")
+		seed    = flag.Uint64("seed", 1, "graph seed (must match across nodes)")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "lock":
+		order, err := partition.Order(partition.OrderInsideOut, *nParts, *nParts, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serveForever(*listen, map[string]any{"LockServer": dist.NewLockServer(order)})
+	case "partition":
+		g := mustGraph(*nodes, *avgDeg, *p, *seed)
+		serveForever(*listen, map[string]any{
+			"PartitionServer": dist.NewPartitionServer(g.Schema, *dim, *seed+1, 1),
+		})
+	case "param":
+		serveForever(*listen, map[string]any{"ParamServer": dist.NewParamServer()})
+	case "trainer":
+		g := mustGraph(*nodes, *avgDeg, *p, *seed)
+		node, err := dist.NewNode(g, dist.NodeConfig{
+			Rank:           *rank,
+			LockAddr:       *lock,
+			PartitionAddrs: strings.Split(*pservs, ","),
+			ParamAddrs:     splitNonEmpty(*qservs),
+			Train:          train.Config{Dim: *dim, Workers: *workers, Seed: *seed},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		for e := 0; e < *epochs; e++ {
+			// Rank 0 starts each epoch on the lock server.
+			if *rank == 0 {
+				c, err := rpc.Dial("tcp", *lock)
+				if err != nil {
+					log.Fatal(err)
+				}
+				var rep dist.StartEpochReply
+				if err := c.Call("LockServer.StartEpoch", dist.StartEpochArgs{}, &rep); err != nil {
+					log.Fatal(err)
+				}
+				c.Close()
+			}
+			start := time.Now()
+			st, err := node.RunEpoch()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("rank %d epoch %d: %d buckets, %d edges, loss/edge %.4f, %.2fs\n",
+				*rank, e, st.Buckets, st.Edges, st.Loss/float64(maxInt(st.Edges, 1)), time.Since(start).Seconds())
+		}
+	default:
+		flag.Usage()
+		log.Fatalf("unknown role %q", *role)
+	}
+}
+
+func mustGraph(nodes, avgDeg, p int, seed uint64) *graph.Graph {
+	g, err := datagen.Social(datagen.SocialConfig{
+		Nodes: nodes, AvgOutDegree: avgDeg, NumPartitions: p, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func serveForever(addr string, receivers map[string]any) {
+	srv := rpc.NewServer()
+	for name, rcvr := range receivers {
+		if err := srv.RegisterName(name, rcvr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listening on %s\n", l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,120 @@
+// Command pbg-train trains embeddings for a graph and writes a checkpoint.
+//
+// The input is a binary edge file written by cmd/pbg-partition (or the
+// storage package); for quick experimentation the -synthetic flag generates
+// one of the built-in synthetic graphs instead.
+//
+// Examples:
+//
+//	pbg-train -synthetic social -nodes 10000 -epochs 10 -dim 64 -out /tmp/ckpt
+//	pbg-train -edges edges.bin -entities 50000 -partitions 8 -dim 100 -out /tmp/ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pbg"
+	"pbg/internal/graph"
+	"pbg/internal/storage"
+	"pbg/internal/train"
+)
+
+func main() {
+	var (
+		synthetic  = flag.String("synthetic", "", "generate a synthetic graph: social, knowledge, bipartite")
+		nodes      = flag.Int("nodes", 10000, "nodes/entities for synthetic graphs")
+		relations  = flag.Int("relations", 20, "relations for synthetic knowledge graphs")
+		avgDeg     = flag.Int("degree", 10, "average out-degree for synthetic graphs")
+		edgesPath  = flag.String("edges", "", "binary edge file (see pbg-partition)")
+		entities   = flag.Int("entities", 0, "entity count when loading -edges")
+		partitions = flag.Int("partitions", 1, "partitions P for the (single) entity type")
+		dim        = flag.Int("dim", 64, "embedding dimension")
+		epochs     = flag.Int("epochs", 10, "training epochs")
+		workers    = flag.Int("workers", 4, "HOGWILD worker goroutines")
+		comparator = flag.String("comparator", "dot", "dot, cos, l2, squared_l2")
+		lossName   = flag.String("loss", "ranking", "ranking, logistic, softmax")
+		operator   = flag.String("operator", "", "override relation operator: identity, translation, diagonal, linear, complex_diagonal")
+		lr         = flag.Float64("lr", 0.1, "Adagrad learning rate")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		out        = flag.String("out", "", "checkpoint directory (also used for partition swapping when P > 1)")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*synthetic, *edgesPath, *nodes, *relations, *avgDeg, *entities, *partitions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *operator != "" {
+		for i := range g.Schema.Relations {
+			g.Schema.Relations[i].Operator = *operator
+		}
+	}
+	cfg := pbg.TrainConfig{
+		Dim: *dim, Epochs: *epochs, Workers: *workers,
+		Comparator: *comparator, Loss: *lossName,
+		LR: float32(*lr), Seed: *seed,
+	}
+	onEpoch := func(st train.EpochStats) {
+		fmt.Printf("epoch %d: loss/edge %.4f  edges %d  %.2fs  IO %d\n",
+			st.Epoch, st.Loss/float64(st.Edges), st.Edges, st.Duration.Seconds(), st.PartitionIO)
+	}
+	var m *pbg.Model
+	if *partitions > 1 && *out != "" {
+		m, err = pbg.TrainOnDisk(g, *out, cfg)
+		if err == nil {
+			fmt.Printf("trained with partition swapping under %s\n", *out)
+		}
+	} else {
+		m, err = pbg.TrainWithCallback(g, cfg, onEpoch)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := m.Checkpoint(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *out)
+	}
+}
+
+func buildGraph(synthetic, edgesPath string, nodes, relations, avgDeg, entities, partitions int) (*pbg.Graph, error) {
+	switch {
+	case synthetic == "social":
+		return pbg.SocialGraph(pbg.SocialGraphConfig{
+			Nodes: nodes, AvgOutDegree: avgDeg, NumPartitions: partitions, Seed: 1,
+		})
+	case synthetic == "knowledge":
+		return pbg.KnowledgeGraph(pbg.KnowledgeGraphConfig{
+			Entities: nodes, Relations: relations, Edges: nodes * avgDeg * 2,
+			NumPartitions: partitions, Seed: 1,
+		})
+	case synthetic == "bipartite":
+		return pbg.BipartiteGraph(pbg.BipartiteGraphConfig{
+			Users: nodes, Items: nodes / 100, Edges: nodes * avgDeg,
+			UserPartitions: partitions, Seed: 1,
+		})
+	case synthetic != "":
+		return nil, fmt.Errorf("unknown synthetic graph %q", synthetic)
+	case edgesPath != "":
+		if entities <= 0 {
+			return nil, fmt.Errorf("-entities required with -edges")
+		}
+		el, err := storage.ReadEdges(edgesPath)
+		if err != nil {
+			return nil, err
+		}
+		return pbg.NewGraph(
+			[]graph.EntityType{{Name: "node", Count: entities, NumPartitions: partitions}},
+			[]graph.RelationType{{Name: "edge", SourceType: "node", DestType: "node", Operator: "identity"}},
+			el,
+		)
+	default:
+		flag.Usage()
+		os.Exit(2)
+		return nil, nil
+	}
+}

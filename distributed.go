@@ -1,0 +1,115 @@
+package pbg
+
+import (
+	"fmt"
+	"time"
+
+	"pbg/internal/dist"
+	"pbg/internal/eval"
+	"pbg/internal/graph"
+	"pbg/internal/partition"
+	"pbg/internal/train"
+)
+
+// DistributedConfig sizes a multi-machine training run. In this repository
+// the "machines" are trainer nodes inside one process communicating over
+// real loopback TCP (lock server, sharded partition servers, parameter
+// server — the Figure 2 architecture); the same components run across hosts
+// via cmd/pbg-node.
+type DistributedConfig struct {
+	// Machines is the number of trainer nodes (the paper trains on up to 8,
+	// with 2×Machines partitions).
+	Machines int
+	// Epochs to run.
+	Epochs int
+	// SyncInterval throttles background parameter synchronisation.
+	SyncInterval time.Duration
+	// Train carries the per-node hyperparameters.
+	Train TrainConfig
+}
+
+// DistributedResult reports a distributed run.
+type DistributedResult struct {
+	EpochStats []dist.EpochStats
+	// Cluster stays alive for evaluation; call Shutdown when done.
+	Cluster *dist.Cluster
+}
+
+// TrainDistributed runs PBG's distributed execution mode (§4.2) and returns
+// the live cluster for evaluation. The caller must call
+// result.Cluster.Shutdown() when finished.
+func TrainDistributed(g *Graph, cfg DistributedConfig) (*DistributedResult, error) {
+	if cfg.Machines <= 0 {
+		return nil, fmt.Errorf("pbg: Machines must be positive")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 5
+	}
+	nSrc, nDst := 1, 1
+	for _, r := range g.Schema.Relations {
+		if p := g.Schema.Entity(r.SourceType).NumPartitions; p > nSrc {
+			nSrc = p
+		}
+		if p := g.Schema.Entity(r.DestType).NumPartitions; p > nDst {
+			nDst = p
+		}
+	}
+	order, err := partition.Order(cfg.Train.BucketOrder, nSrc, nDst, cfg.Train.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := dist.NewCluster(g, order, dist.ClusterConfig{
+		Machines:     cfg.Machines,
+		SyncInterval: cfg.SyncInterval,
+		Seed:         cfg.Train.Seed + 1,
+		Train:        cfg.Train,
+		InitScale:    cfg.Train.InitScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DistributedResult{Cluster: cl}
+	for e := 0; e < cfg.Epochs; e++ {
+		st, err := cl.RunEpoch()
+		if err != nil {
+			cl.Shutdown()
+			return nil, err
+		}
+		res.EpochStats = append(res.EpochStats, st)
+	}
+	return res, nil
+}
+
+// EvaluateDistributed ranks test edges against the cluster's current
+// embeddings.
+func (r *DistributedResult) EvaluateDistributed(g *Graph, test *Graph, opts EvalOptions) (Metrics, error) {
+	store, err := r.Cluster.EvalStore()
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer store.Close()
+	view := train.NewStoreView(store, g.Schema)
+	defer view.Close()
+	deg := graph.ComputeDegrees(g)
+	dim := r.Cluster.Nodes[0].Trainer().Config().Dim
+	rk := eval.NewRanker(g.Schema, view, r.Cluster.Nodes[0].Trainer(), dim, deg)
+	cfg := eval.Config{
+		K:         opts.Candidates,
+		Filtered:  opts.Filtered,
+		BothSides: opts.BothSides,
+		MaxEdges:  opts.MaxEdges,
+		Seed:      opts.Seed,
+	}
+	switch {
+	case opts.Candidates == 0:
+		cfg.Mode = eval.CandidatesAll
+	case opts.ByPrevalence:
+		cfg.Mode = eval.CandidatesPrevalence
+	default:
+		cfg.Mode = eval.CandidatesUniform
+	}
+	if opts.Filtered {
+		cfg.Known = graph.NewEdgeSet(append([]*EdgeList{g.Edges}, opts.Known...)...)
+	}
+	return rk.Evaluate(test.Edges, cfg)
+}

@@ -1,0 +1,73 @@
+// Knowledge-graph example: the FB15k workflow of §5.4.1 — train a ComplEx
+// model (complex_diagonal operator + dot comparator + softmax loss +
+// reciprocal relations) on a multi-relation graph and report raw and
+// filtered MRR / Hits@10, comparing against a TransE configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbg"
+)
+
+func main() {
+	g, err := pbg.KnowledgeGraph(pbg.KnowledgeGraphConfig{
+		Entities: 2000, Relations: 30, Edges: 80000, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knowledge graph: %d entities, %d relations, %d edges\n",
+		g.Schema.Entities[0].Count, len(g.Schema.Relations), g.Edges.Len())
+	trainG, validG, testG := pbg.Split(g, 0.05, 0.05, 7)
+
+	type config struct {
+		name     string
+		operator string
+		cfg      pbg.TrainConfig
+	}
+	configs := []config{
+		{
+			name:     "TransE  (translation + cos + ranking)",
+			operator: "translation",
+			cfg: pbg.TrainConfig{
+				Dim: 32, Epochs: 10, Workers: 4, Seed: 1,
+				Comparator: "cos", Loss: "ranking", Margin: 0.2,
+				LR: 0.5, UniformNegs: 150, NegAlpha: 0.1,
+			},
+		},
+		{
+			name:     "ComplEx (complex_diagonal + dot + softmax + reciprocal)",
+			operator: "complex_diagonal",
+			cfg: pbg.TrainConfig{
+				Dim: 32, Epochs: 10, Workers: 4, Seed: 1,
+				Comparator: "dot", Loss: "softmax", Reciprocal: true,
+				LR: 0.5, UniformNegs: 150, NegAlpha: 0.1,
+			},
+		},
+	}
+	for _, c := range configs {
+		for i := range g.Schema.Relations {
+			g.Schema.Relations[i].Operator = c.operator
+		}
+		model, err := pbg.Train(trainG, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		raw, err := model.Evaluate(testG, pbg.EvalOptions{
+			Candidates: 0, BothSides: true, MaxEdges: 500, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		filt, err := model.Evaluate(testG, pbg.EvalOptions{
+			Candidates: 0, BothSides: true, MaxEdges: 500, Seed: 1,
+			Filtered: true, Known: []*pbg.EdgeList{validG.Edges, testG.Edges},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  raw:      %v\n  filtered: %v\n", c.name, raw, filt)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: train embeddings on a small social graph, evaluate link
+// prediction, and look up nearest neighbours — the minimal end-to-end use of
+// the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbg"
+)
+
+func main() {
+	// 1. Build (or load) a graph. Here: a synthetic follow graph with
+	// community structure and heavy-tailed degrees.
+	g, err := pbg.SocialGraph(pbg.SocialGraphConfig{
+		Nodes: 5000, AvgOutDegree: 10, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges\n", g.Schema.Entities[0].Count, g.Edges.Len())
+
+	// 2. Hold out 10% of edges for evaluation.
+	trainG, _, testG := pbg.Split(g, 0, 0.10, 7)
+
+	// 3. Train. Defaults follow the paper: Adagrad, margin ranking loss,
+	// batched negatives (B=1000, chunks of 50, α=0.5).
+	model, err := pbg.Train(trainG, pbg.TrainConfig{
+		Dim:        64,
+		Epochs:     8,
+		Workers:    4,
+		Comparator: "cos",
+		Loss:       "softmax",
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range model.EpochStats() {
+		fmt.Printf("  epoch %d: loss/edge %.4f (%.2fs)\n",
+			st.Epoch, st.Loss/float64(st.Edges), st.Duration.Seconds())
+	}
+
+	// 4. Link prediction: rank true destinations among 1000 sampled
+	// corrupted edges.
+	metrics, err := model.Evaluate(testG, pbg.EvalOptions{Candidates: 1000, MaxEdges: 1000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("link prediction: %v\n", metrics)
+
+	// 5. Nearest neighbours of an arbitrary node under cosine similarity —
+	// the typical downstream use of released embeddings.
+	nn, err := model.NearestNeighbors("node", 123, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nearest neighbours of node 123:")
+	for _, n := range nn {
+		fmt.Printf("  node %-6d cos %.3f\n", n.ID, n.Score)
+	}
+}

@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pbg/internal/datagen"
+	"pbg/internal/dist"
+	"pbg/internal/eval"
+	"pbg/internal/graph"
+	"pbg/internal/partition"
+	"pbg/internal/storage"
+	"pbg/internal/train"
+)
+
+// kgGraph builds the Freebase stand-in at the given scale and partition
+// count. Relations use the requested operator.
+func kgGraph(s Scale, parts int, operator string) (*graph.Graph, error) {
+	g, err := datagen.Knowledge(datagen.KGConfig{
+		Entities: s.KGEntities, Relations: s.KGRelations, Edges: s.KGEdges,
+		NumPartitions: parts, Seed: s.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if operator != "" {
+		for i := range g.Schema.Relations {
+			g.Schema.Relations[i].Operator = operator
+		}
+	}
+	return g, nil
+}
+
+// fb15kLiterature holds the published FB15k rows of Table 2 for printing
+// next to our measured PBG rows (the baselines are literature numbers in
+// the paper too).
+var fb15kLiterature = []Row{
+	{Label: "RESCAL (lit.)", Values: map[string]float64{"MRR-raw": 0.189, "MRR-filt": 0.354, "Hits@10": 0.587}},
+	{Label: "TransE (lit.)", Values: map[string]float64{"MRR-raw": 0.222, "MRR-filt": 0.463, "Hits@10": 0.749}},
+	{Label: "ComplEx (lit.)", Values: map[string]float64{"MRR-raw": 0.242, "MRR-filt": 0.692, "Hits@10": 0.840}},
+	{Label: "PBG-paper (TransE)", Values: map[string]float64{"MRR-raw": 0.265, "MRR-filt": 0.594, "Hits@10": 0.785}},
+	{Label: "PBG-paper (ComplEx)", Values: map[string]float64{"MRR-raw": 0.242, "MRR-filt": 0.790, "Hits@10": 0.872}},
+}
+
+// Table2FB15k reproduces Table 2: PBG configured as TransE and as ComplEx
+// (with reciprocal relations and a softmax loss, §5.4.1) on the FB15k
+// stand-in, reporting raw and filtered MRR and filtered Hits@10 under the
+// standard both-sides full-candidate protocol.
+func Table2FB15k(s Scale) (*Report, error) {
+	g, err := kgGraph(s, 1, "")
+	if err != nil {
+		return nil, err
+	}
+	trainG, validG, testG := g.Split(0.05, 0.05, 5)
+	known := graph.NewEdgeSet(trainG.Edges, validG.Edges, testG.Edges)
+	deg := graph.ComputeDegrees(trainG)
+	rep := &Report{ID: "table2", Title: "FB15k link prediction (paper Table 2)"}
+	rep.Rows = append(rep.Rows, fb15kLiterature...)
+
+	type variant struct {
+		label      string
+		operator   string
+		comparator string
+		loss       string
+		reciprocal bool
+	}
+	variants := []variant{
+		{"PBG (TransE)", "translation", "cos", "ranking", false},
+		{"PBG (ComplEx)", "complex_diagonal", "dot", "softmax", true},
+	}
+	for _, v := range variants {
+		for i := range g.Schema.Relations {
+			g.Schema.Relations[i].Operator = v.operator
+		}
+		store := storage.NewMemStore(g.Schema, s.Dim, s.Seed+1, 1)
+		// Grid-searched hyperparameters (§5.1 searches lr, margin and
+		// negative batch size per dataset).
+		tr, err := train.New(trainG, store, train.Config{
+			Dim: s.Dim, Epochs: s.KGEpochs, Workers: s.Workers, Seed: s.Seed,
+			Comparator: v.comparator, Loss: v.loss, Reciprocal: v.reciprocal,
+			LR: 0.5, UniformNegs: 150, NegAlpha: 0.1, Margin: 0.2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tr.Train(nil); err != nil {
+			return nil, err
+		}
+		view := tr.NewView()
+		rk := eval.NewRanker(trainG.Schema, view, tr, s.Dim, deg)
+		raw, err := rk.Evaluate(testG.Edges, eval.Config{
+			Mode: eval.CandidatesAll, MaxEdges: s.EvalEdges, BothSides: true, Seed: 1,
+		})
+		if err != nil {
+			view.Close()
+			return nil, err
+		}
+		filt, err := rk.Evaluate(testG.Edges, eval.Config{
+			Mode: eval.CandidatesAll, MaxEdges: s.EvalEdges, BothSides: true, Seed: 1,
+			Filtered: true, Known: known,
+		})
+		view.Close()
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, Row{Label: v.label, Values: map[string]float64{
+			"MRR-raw": raw.MRR, "MRR-filt": filt.MRR, "Hits@10": filt.Hits10,
+		}})
+	}
+	rep.Notes = "literature rows are the paper's published values; PBG rows are measured on the synthetic FB15k stand-in"
+	return rep, nil
+}
+
+// Table3Partitions reproduces Table 3 (left): the full-Freebase stand-in
+// trained on a single machine with 1, 4, 8 and 16 partitions, reporting
+// MRR, Hits@10 (raw, prevalence candidates — §5.4.2's protocol), training
+// time and peak model memory. The headline claim: memory drops almost
+// linearly with partitions at nearly unchanged MRR.
+func Table3Partitions(s Scale) (*Report, error) {
+	return partitionSweep(s, "table3-left", "Freebase partition sweep (paper Table 3, left)",
+		func(parts int) (*graph.Graph, error) { return kgGraph(s, parts, "translation") })
+}
+
+// Table3Distributed reproduces Table 3 (right): distributed training on
+// 1, 2, 4 and 8 machines with 2M partitions.
+func Table3Distributed(s Scale) (*Report, error) {
+	return distributedSweep(s, "table3-right", "Freebase distributed sweep (paper Table 3, right)",
+		func(parts int) (*graph.Graph, error) { return kgGraph(s, parts, "translation") })
+}
+
+// partitionSweep is the shared single-machine sweep used by Tables 3–4.
+func partitionSweep(s Scale, id, title string, build func(parts int) (*graph.Graph, error)) (*Report, error) {
+	rep := &Report{ID: id, Title: title}
+	for _, parts := range []int{1, 4, 8, 16} {
+		g, err := build(parts)
+		if err != nil {
+			return nil, err
+		}
+		trainG, _, testG := g.Split(0.05, 0.05, 5)
+		deg := graph.ComputeDegrees(trainG)
+
+		var store storage.Store
+		if parts == 1 {
+			store = storage.NewMemStore(g.Schema, s.Dim, s.Seed+1, 1)
+		} else {
+			dir, err := os.MkdirTemp("", "pbgsweep")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			ds, err := storage.NewDiskStore(dir, g.Schema, s.Dim, s.Seed+1, 1)
+			if err != nil {
+				return nil, err
+			}
+			store = ds
+		}
+		tr, err := train.New(trainG, store, train.Config{
+			Dim: s.Dim, Epochs: s.Epochs, Workers: s.Workers, Seed: s.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := tr.Train(nil); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+
+		view := tr.NewView()
+		rk := eval.NewRanker(trainG.Schema, view, tr, s.Dim, deg)
+		m, err := rk.Evaluate(testG.Edges, eval.Config{
+			Mode: eval.CandidatesPrevalence, K: s.EvalK, MaxEdges: s.EvalEdges, Seed: 1,
+		})
+		view.Close()
+		if err != nil {
+			return nil, err
+		}
+		peak := tr.PeakResidentBytes()
+		rep.Rows = append(rep.Rows, Row{Label: fmt.Sprintf("%d partitions", parts), Values: map[string]float64{
+			"MRR": m.MRR, "Hits@10": m.Hits10,
+			"time_s": seconds(elapsed), "mem_MB": mb(peak),
+		}})
+	}
+	rep.Notes = "paper shape: memory falls ~linearly with partitions; MRR stays flat; time rises slightly from swap I/O"
+	return rep, nil
+}
+
+// distributedSweep is the shared multi-machine sweep used by Tables 3–4:
+// M machines with 2M partitions (the paper's minimum for that parallelism).
+func distributedSweep(s Scale, id, title string, build func(parts int) (*graph.Graph, error)) (*Report, error) {
+	rep := &Report{ID: id, Title: title}
+	for _, machines := range []int{1, 2, 4, 8} {
+		parts := 2 * machines
+		if machines == 1 {
+			parts = 1
+		}
+		g, err := build(parts)
+		if err != nil {
+			return nil, err
+		}
+		trainG, _, testG := g.Split(0.05, 0.05, 5)
+		deg := graph.ComputeDegrees(trainG)
+		order, err := partition.Order(partition.OrderInsideOut, maxParts(g.Schema), maxParts(g.Schema), 0)
+		if err != nil {
+			return nil, err
+		}
+		// One worker per machine: simulated machines share this host's
+		// cores, so wall-clock speedup is only meaningful while machines ≤
+		// physical cores (see EXPERIMENTS.md).
+		cl, err := dist.NewCluster(trainG, order, dist.ClusterConfig{
+			Machines: machines,
+			Seed:     s.Seed + 1,
+			Train:    train.Config{Dim: s.Dim, Workers: 1, Seed: s.Seed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		var peak int64
+		for e := 0; e < s.Epochs; e++ {
+			st, err := cl.RunEpoch()
+			if err != nil {
+				cl.Shutdown()
+				return nil, err
+			}
+			for _, ns := range st.PerNode {
+				if ns.PeakResident > peak {
+					peak = ns.PeakResident
+				}
+			}
+		}
+		elapsed := time.Since(start)
+
+		store, err := cl.EvalStore()
+		if err != nil {
+			cl.Shutdown()
+			return nil, err
+		}
+		view := train.NewStoreView(store, trainG.Schema)
+		rk := eval.NewRanker(trainG.Schema, view, cl.Nodes[0].Trainer(), s.Dim, deg)
+		m, err := rk.Evaluate(testG.Edges, eval.Config{
+			Mode: eval.CandidatesPrevalence, K: s.EvalK, MaxEdges: s.EvalEdges, Seed: 1,
+		})
+		view.Close()
+		store.Close()
+		cl.Shutdown()
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, Row{Label: fmt.Sprintf("%d machines / %d parts", machines, parts), Values: map[string]float64{
+			"MRR": m.MRR, "Hits@10": m.Hits10,
+			"time_s": seconds(elapsed), "mem_MB": mb(peak),
+		}})
+	}
+	rep.Notes = "paper shape: wallclock falls with machines (4x at 8 machines for Freebase, near-linear for Twitter); MRR approximately flat"
+	return rep, nil
+}
+
+func maxParts(s *graph.Schema) int {
+	p := 1
+	for _, e := range s.Entities {
+		if e.NumPartitions > p {
+			p = e.NumPartitions
+		}
+	}
+	return p
+}
+
+// Figure6FreebaseCurves reproduces Figure 6: MRR as a function of epoch and
+// of wallclock time for 1, 2, 4 and 8 machines on the Freebase stand-in.
+func Figure6FreebaseCurves(s Scale) ([]*eval.Curve, error) {
+	return distributedCurves(s, func(parts int) (*graph.Graph, error) { return kgGraph(s, parts, "translation") })
+}
+
+func distributedCurves(s Scale, build func(parts int) (*graph.Graph, error)) ([]*eval.Curve, error) {
+	var curves []*eval.Curve
+	for _, machines := range []int{1, 2, 4, 8} {
+		parts := 2 * machines
+		if machines == 1 {
+			parts = 1
+		}
+		g, err := build(parts)
+		if err != nil {
+			return nil, err
+		}
+		trainG, _, testG := g.Split(0.05, 0.05, 5)
+		deg := graph.ComputeDegrees(trainG)
+		order, err := partition.Order(partition.OrderInsideOut, maxParts(g.Schema), maxParts(g.Schema), 0)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := dist.NewCluster(trainG, order, dist.ClusterConfig{
+			Machines: machines,
+			Seed:     s.Seed + 1,
+			Train:    train.Config{Dim: s.Dim, Workers: 1, Seed: s.Seed},
+		})
+		if err != nil {
+			return nil, err
+		}
+		curve := &eval.Curve{Label: fmt.Sprintf("%d machines", machines)}
+		var cum time.Duration
+		for e := 0; e < s.Epochs; e++ {
+			st, err := cl.RunEpoch()
+			if err != nil {
+				cl.Shutdown()
+				return nil, err
+			}
+			cum += st.Duration
+			store, err := cl.EvalStore()
+			if err != nil {
+				cl.Shutdown()
+				return nil, err
+			}
+			view := train.NewStoreView(store, trainG.Schema)
+			rk := eval.NewRanker(trainG.Schema, view, cl.Nodes[0].Trainer(), s.Dim, deg)
+			m, err := rk.Evaluate(testG.Edges, eval.Config{
+				Mode: eval.CandidatesPrevalence, K: s.EvalK, MaxEdges: s.EvalEdges / 2, Seed: 1,
+			})
+			view.Close()
+			store.Close()
+			if err != nil {
+				cl.Shutdown()
+				return nil, err
+			}
+			curve.Add(e+1, seconds(cum), m.MRR)
+		}
+		cl.Shutdown()
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}

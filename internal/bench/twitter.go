@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"pbg/internal/datagen"
+	"pbg/internal/eval"
+	"pbg/internal/graph"
+)
+
+// twitterGraph builds the Twitter stand-in: a single-relation follow graph,
+// denser than the Freebase stand-in and with one relation (the paper
+// contrasts its near-linear scaling against Freebase's).
+func twitterGraph(s Scale, parts int) (*graph.Graph, error) {
+	return datagen.Social(datagen.SocialConfig{
+		Nodes: s.SocialNodes, AvgOutDegree: s.SocialDeg * 2,
+		NumPartitions: parts, Seed: s.Seed + 100,
+	})
+}
+
+// Table4Partitions reproduces Table 4 (left): the Twitter stand-in trained
+// on a single machine with 1, 4, 8 and 16 partitions.
+func Table4Partitions(s Scale) (*Report, error) {
+	return partitionSweep(s, "table4-left", "Twitter partition sweep (paper Table 4, left)",
+		func(parts int) (*graph.Graph, error) { return twitterGraph(s, parts) })
+}
+
+// Table4Distributed reproduces Table 4 (right): distributed training on 1,
+// 2, 4 and 8 machines.
+func Table4Distributed(s Scale) (*Report, error) {
+	return distributedSweep(s, "table4-right", "Twitter distributed sweep (paper Table 4, right)",
+		func(parts int) (*graph.Graph, error) { return twitterGraph(s, parts) })
+}
+
+// Figure7TwitterCurves reproduces Figure 7: MRR vs epoch and wallclock for
+// 1–8 machines on the Twitter stand-in.
+func Figure7TwitterCurves(s Scale) ([]*eval.Curve, error) {
+	return distributedCurves(s, func(parts int) (*graph.Graph, error) { return twitterGraph(s, parts) })
+}

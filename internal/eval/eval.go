@@ -1,0 +1,299 @@
+// Package eval implements the link-prediction evaluation protocols from §5:
+// for each test edge, the true destination (and source) is ranked among
+// candidate corrupted edges, and MRR (raw and filtered), MR and Hits@K are
+// reported. Candidate sets cover the paper's variants: every entity, k
+// uniformly sampled entities, or k entities sampled by their training-set
+// prevalence (the 10,000-candidate protocol of §5.4.2).
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"pbg/internal/graph"
+	"pbg/internal/model"
+	"pbg/internal/rng"
+	"pbg/internal/vec"
+)
+
+// Metrics aggregates ranking results.
+type Metrics struct {
+	MRR    float64 // mean reciprocal rank
+	MR     float64 // mean rank
+	Hits1  float64
+	Hits10 float64
+	Count  int // ranked examples
+}
+
+// String renders the metrics like the paper's tables.
+func (m Metrics) String() string {
+	return fmt.Sprintf("MRR %.3f  MR %.1f  Hits@1 %.3f  Hits@10 %.3f  (n=%d)", m.MRR, m.MR, m.Hits1, m.Hits10, m.Count)
+}
+
+func (m *Metrics) add(rank int) {
+	m.MRR += 1 / float64(rank)
+	m.MR += float64(rank)
+	if rank <= 1 {
+		m.Hits1++
+	}
+	if rank <= 10 {
+		m.Hits10++
+	}
+	m.Count++
+}
+
+func (m *Metrics) finish() {
+	if m.Count == 0 {
+		return
+	}
+	n := float64(m.Count)
+	m.MRR /= n
+	m.MR /= n
+	m.Hits1 /= n
+	m.Hits10 /= n
+}
+
+// CandidateMode selects how corrupted-edge candidates are drawn.
+type CandidateMode int
+
+const (
+	// CandidatesAll ranks against every entity of the correct type
+	// (FB15k-style, feasible on small graphs).
+	CandidatesAll CandidateMode = iota
+	// CandidatesUniform samples K entities uniformly.
+	CandidatesUniform
+	// CandidatesPrevalence samples K entities by training prevalence — the
+	// §5.4.2 protocol that avoids degree-distribution shortcuts.
+	CandidatesPrevalence
+)
+
+// Config controls one evaluation run.
+type Config struct {
+	Mode CandidateMode
+	// K is the number of sampled candidates (ignored for CandidatesAll).
+	K int
+	// Filtered removes known-true edges from the candidates (§5.4.1). The
+	// Known set must then be provided.
+	Filtered bool
+	Known    *graph.EdgeSet
+	// BothSides ranks both corrupted destinations and corrupted sources
+	// (standard KG protocol). When false only destinations are ranked.
+	BothSides bool
+	// MaxEdges caps evaluated test edges (0 = all).
+	MaxEdges int
+	Seed     uint64
+}
+
+// EmbeddingSource supplies entity embeddings; satisfied by train.View.
+type EmbeddingSource interface {
+	Embedding(typeIdx int, id int32, out []float32) ([]float32, error)
+}
+
+// ScorerSource supplies the per-relation scorer and parameters; satisfied by
+// the trainer (and the distributed coordinator).
+type ScorerSource interface {
+	Scorer(rel int) *model.Scorer
+	RelParams(rel int) []float32
+}
+
+// Ranker evaluates link prediction on a test edge list.
+type Ranker struct {
+	schema  *graph.Schema
+	emb     EmbeddingSource
+	scorers ScorerSource
+	dim     int
+	degrees *graph.Degrees
+}
+
+// NewRanker builds an evaluator. degrees is required for
+// CandidatesPrevalence (pass training-set degrees).
+func NewRanker(schema *graph.Schema, emb EmbeddingSource, scorers ScorerSource, dim int, degrees *graph.Degrees) *Ranker {
+	return &Ranker{schema: schema, emb: emb, scorers: scorers, dim: dim, degrees: degrees}
+}
+
+// Evaluate ranks every test edge under cfg and returns aggregate metrics.
+func (rk *Ranker) Evaluate(test *graph.EdgeList, cfg Config) (Metrics, error) {
+	if cfg.K == 0 {
+		cfg.K = 1000
+	}
+	r := rng.New(cfg.Seed)
+	var m Metrics
+	n := test.Len()
+	if cfg.MaxEdges > 0 && n > cfg.MaxEdges {
+		n = cfg.MaxEdges
+	}
+	// Pre-build prevalence alias tables per entity type on demand.
+	aliases := map[int]*rng.Alias{}
+	aliasFor := func(typeIdx int) (*rng.Alias, error) {
+		if a, ok := aliases[typeIdx]; ok {
+			return a, nil
+		}
+		if rk.degrees == nil {
+			return nil, fmt.Errorf("eval: prevalence candidates need degrees")
+		}
+		a := rng.NewAlias(rk.degrees.ByType[typeIdx])
+		aliases[typeIdx] = a
+		return a, nil
+	}
+
+	srcBuf := make([]float32, rk.dim)
+	dstBuf := make([]float32, rk.dim)
+	for i := 0; i < n; i++ {
+		s, rel, d := test.Edge(i)
+		srcType := rk.schema.EntityTypeIndex(rk.schema.Relations[rel].SourceType)
+		dstType := rk.schema.EntityTypeIndex(rk.schema.Relations[rel].DestType)
+		if _, err := rk.emb.Embedding(srcType, s, srcBuf); err != nil {
+			return m, err
+		}
+		if _, err := rk.emb.Embedding(dstType, d, dstBuf); err != nil {
+			return m, err
+		}
+		// Rank true destination among corrupted destinations.
+		rank, err := rk.rankSide(r, cfg, aliasFor, rel, s, d, dstType, srcBuf, dstBuf, false)
+		if err != nil {
+			return m, err
+		}
+		m.add(rank)
+		if cfg.BothSides {
+			rank, err := rk.rankSide(r, cfg, aliasFor, rel, s, d, srcType, srcBuf, dstBuf, true)
+			if err != nil {
+				return m, err
+			}
+			m.add(rank)
+		}
+	}
+	m.finish()
+	return m, nil
+}
+
+// rankSide ranks the true endpoint among candidates on one side.
+// corruptSource false: candidates replace d; true: candidates replace s.
+func (rk *Ranker) rankSide(r *rng.RNG, cfg Config, aliasFor func(int) (*rng.Alias, error),
+	rel, s, d int32, candType int, srcEmb, dstEmb []float32, corruptSource bool) (int, error) {
+
+	sc := rk.scorers.Scorer(int(rel))
+	params := rk.scorers.RelParams(int(rel))
+	// True edge score. Corrupted-source ranking uses the reverse direction
+	// under reciprocal relations.
+	var trueScore float32
+	if corruptSource {
+		trueScore = sc.ScoreReverse(srcEmb, dstEmb, params)
+	} else {
+		trueScore = sc.Score(srcEmb, dstEmb, params)
+	}
+
+	count := rk.schema.Entities[candType].Count
+	var candIDs []int32
+	switch cfg.Mode {
+	case CandidatesAll:
+		candIDs = make([]int32, 0, count)
+		for id := int32(0); int(id) < count; id++ {
+			candIDs = append(candIDs, id)
+		}
+	case CandidatesUniform:
+		candIDs = make([]int32, cfg.K)
+		for i := range candIDs {
+			candIDs[i] = int32(r.Intn(count))
+		}
+	case CandidatesPrevalence:
+		a, err := aliasFor(candType)
+		if err != nil {
+			return 0, err
+		}
+		candIDs = make([]int32, cfg.K)
+		for i := range candIDs {
+			candIDs[i] = int32(a.Sample(r))
+		}
+	default:
+		return 0, fmt.Errorf("eval: unknown candidate mode %d", cfg.Mode)
+	}
+
+	// Batch-score candidates.
+	cand := vec.NewMatrix(len(candIDs), rk.dim)
+	keep := candIDs[:0]
+	row := 0
+	for _, id := range candIDs {
+		if corruptSource {
+			if id == s {
+				continue
+			}
+			if cfg.Filtered && cfg.Known != nil && cfg.Known.Contains(id, rel, d) {
+				continue
+			}
+		} else {
+			if id == d {
+				continue
+			}
+			if cfg.Filtered && cfg.Known != nil && cfg.Known.Contains(s, rel, id) {
+				continue
+			}
+		}
+		if _, err := rk.emb.Embedding(candType, id, cand.Row(row)); err != nil {
+			return 0, err
+		}
+		keep = append(keep, id)
+		row++
+	}
+	cand = vec.MatrixFrom(cand.Data[:row*rk.dim], row, rk.dim)
+	scores := make([]float32, row)
+	if corruptSource {
+		// Score candidates as sources against the fixed destination:
+		// f(s', r, d). Compute one by one through the operator (candidates
+		// must be transformed); ScoreMany transforms the query side, so
+		// evaluate per candidate.
+		for j := 0; j < row; j++ {
+			scores[j] = sc.ScoreReverse(cand.Row(j), dstEmb, params)
+		}
+	} else {
+		sc.ScoreMany(scores, srcEmb, params, cand)
+	}
+	rank := 1
+	for _, v := range scores {
+		if v > trueScore {
+			rank++
+		}
+	}
+	return rank, nil
+}
+
+// Curve records a learning curve: MRR over epochs with wallclock stamps
+// (Figures 5–7).
+type Curve struct {
+	Label   string
+	Epochs  []int
+	Seconds []float64
+	MRR     []float64
+}
+
+// Add appends one point.
+func (c *Curve) Add(epoch int, seconds, mrr float64) {
+	c.Epochs = append(c.Epochs, epoch)
+	c.Seconds = append(c.Seconds, seconds)
+	c.MRR = append(c.MRR, mrr)
+}
+
+// String renders the curve as aligned columns.
+func (c *Curve) String() string {
+	out := fmt.Sprintf("# %s\n# epoch  seconds  MRR\n", c.Label)
+	for i := range c.Epochs {
+		out += fmt.Sprintf("%7d %8.2f %.4f\n", c.Epochs[i], c.Seconds[i], c.MRR[i])
+	}
+	return out
+}
+
+// MeanStd returns the mean and standard deviation of xs (for the ComplEx
+// instability probe of §5.4.2).
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pbg/internal/rng"
+)
+
+// Property: SortByBucket places every edge in the range of its own bucket
+// and the ranges partition the edge list, for arbitrary random graphs.
+func TestSortByBucketProperty(t *testing.T) {
+	f := func(seed uint64, nodesRaw uint8, partsRaw uint8, edgesRaw uint16) bool {
+		nodes := int(nodesRaw)%200 + 10
+		parts := int(partsRaw)%6 + 1
+		if parts > nodes {
+			parts = nodes
+		}
+		nEdges := int(edgesRaw)%500 + 1
+		s := MustSchema(
+			[]EntityType{{Name: "n", Count: nodes, NumPartitions: parts}},
+			[]RelationType{{Name: "r", SourceType: "n", DestType: "n", Operator: "identity"}},
+		)
+		r := rng.New(seed)
+		el := &EdgeList{}
+		for i := 0; i < nEdges; i++ {
+			el.Append(int32(r.Intn(nodes)), 0, int32(r.Intn(nodes)))
+		}
+		ranges := SortByBucket(s, el, parts, parts)
+		total := 0
+		ent := s.Entities[0]
+		for b, rg := range ranges {
+			p1, p2 := b/parts, b%parts
+			for i := rg.Lo; i < rg.Hi; i++ {
+				src, _, dst := el.Edge(i)
+				if ent.PartitionOf(src) != p1 || ent.PartitionOf(dst) != p2 {
+					return false
+				}
+			}
+			total += rg.Len()
+		}
+		return total == el.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Split never loses or duplicates edges for arbitrary fractions.
+func TestSplitProperty(t *testing.T) {
+	f := func(seed uint64, vRaw, tRaw uint8, edgesRaw uint16) bool {
+		vf := float64(vRaw%50) / 100
+		tf := float64(tRaw%50) / 100
+		nEdges := int(edgesRaw)%300 + 3
+		s := MustSchema(
+			[]EntityType{{Name: "n", Count: 1000, NumPartitions: 1}},
+			[]RelationType{{Name: "r", SourceType: "n", DestType: "n", Operator: "identity"}},
+		)
+		r := rng.New(seed)
+		el := &EdgeList{}
+		for i := 0; i < nEdges; i++ {
+			el.Append(int32(r.Intn(1000)), 0, int32(r.Intn(1000)))
+		}
+		g := MustGraph(s, el)
+		a, b, c := g.Split(vf, tf, seed)
+		return a.Edges.Len()+b.Edges.Len()+c.Edges.Len() == nEdges
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every entity id maps to exactly one (partition, offset) pair
+// and PartitionCount sums to Count.
+func TestPartitionCountsSumProperty(t *testing.T) {
+	f := func(countRaw uint16, partsRaw uint8) bool {
+		count := int(countRaw)%10000 + 1
+		parts := int(partsRaw)%16 + 1
+		if parts > count {
+			parts = count
+		}
+		e := EntityType{Name: "n", Count: count, NumPartitions: parts}
+		sum := 0
+		for p := 0; p < parts; p++ {
+			sum += e.PartitionCount(p)
+		}
+		return sum == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"pbg/internal/vec"
+)
+
+// Comparator computes similarity scores between (transformed) embeddings.
+// The batched path works on "prepared" matrices: Prepare is called once per
+// matrix (cos normalises rows there), scores are computed in prepared space,
+// and UnprepareGrad maps gradients back to raw space. This mirrors how PBG
+// amortises normalisation across the Bn×Bn score block of Figure 3.
+type Comparator interface {
+	// Name returns the config string for this comparator.
+	Name() string
+	// Prepare may transform m in place and returns per-row state needed by
+	// UnprepareGrad (e.g. row norms), or nil when Prepare is the identity.
+	Prepare(m vec.Matrix) []float32
+	// PairScores computes out[i] = sim(a_i, b_i) for matching rows.
+	PairScores(out []float32, a, b vec.Matrix)
+	// CrossScores computes out[i][j] = sim(a_i, b_j) for all pairs.
+	CrossScores(out, a, b vec.Matrix)
+	// PairBackward accumulates gradients of Σ g[i]·score[i] into ga, gb
+	// (in prepared space). scores holds the forward PairScores output.
+	PairBackward(ga, gb vec.Matrix, g, scores []float32, a, b vec.Matrix)
+	// CrossBackward accumulates gradients of Σ g[i][j]·score[i][j] into
+	// ga, gb (in prepared space). scores holds the forward CrossScores
+	// output.
+	CrossBackward(ga, gb vec.Matrix, g, scores, a, b vec.Matrix)
+	// UnprepareGrad maps the accumulated gradient g from prepared space back
+	// to raw space in place, given the prepared matrix and Prepare's state.
+	UnprepareGrad(g, prepared vec.Matrix, state []float32)
+}
+
+// NewComparator returns the comparator registered under name. Valid names:
+// "dot", "cos", "l2", "squared_l2".
+func NewComparator(name string) (Comparator, error) {
+	switch name {
+	case "", "dot":
+		return DotComparator{}, nil
+	case "cos":
+		return CosComparator{}, nil
+	case "l2":
+		return L2Comparator{}, nil
+	case "squared_l2":
+		return SquaredL2Comparator{}, nil
+	default:
+		return nil, fmt.Errorf("model: unknown comparator %q", name)
+	}
+}
+
+// DotComparator scores by inner product: sim(a, b) = ⟨a, b⟩.
+type DotComparator struct{}
+
+func (DotComparator) Name() string                   { return "dot" }
+func (DotComparator) Prepare(_ vec.Matrix) []float32 { return nil }
+
+func (DotComparator) PairScores(out []float32, a, b vec.Matrix) {
+	for i := range out {
+		out[i] = vec.Dot(a.Row(i), b.Row(i))
+	}
+}
+
+func (DotComparator) CrossScores(out, a, b vec.Matrix) {
+	vec.MulABt(out, a, b)
+}
+
+func (DotComparator) PairBackward(ga, gb vec.Matrix, g, _ []float32, a, b vec.Matrix) {
+	for i, gi := range g {
+		if gi == 0 {
+			continue
+		}
+		vec.Axpy(gi, b.Row(i), ga.Row(i))
+		vec.Axpy(gi, a.Row(i), gb.Row(i))
+	}
+}
+
+func (DotComparator) CrossBackward(ga, gb vec.Matrix, g, _, a, b vec.Matrix) {
+	vec.AddOuterAtB(ga, g, b)
+	vec.AddOuterGtA(gb, g, a)
+}
+
+func (DotComparator) UnprepareGrad(_, _ vec.Matrix, _ []float32) {}
+
+// CosComparator scores by cosine similarity. Rows are normalised once in
+// Prepare; scoring is then plain dot products (GEMM-friendly), and
+// UnprepareGrad applies the normalisation Jacobian
+// dL/dx = (g − u⟨u, g⟩)/‖x‖ with u = x/‖x‖.
+type CosComparator struct{}
+
+func (CosComparator) Name() string { return "cos" }
+
+func (CosComparator) Prepare(m vec.Matrix) []float32 {
+	norms := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		norms[i] = vec.Normalize(m.Row(i))
+	}
+	return norms
+}
+
+func (CosComparator) PairScores(out []float32, a, b vec.Matrix) {
+	DotComparator{}.PairScores(out, a, b)
+}
+
+func (CosComparator) CrossScores(out, a, b vec.Matrix) {
+	DotComparator{}.CrossScores(out, a, b)
+}
+
+func (CosComparator) PairBackward(ga, gb vec.Matrix, g, scores []float32, a, b vec.Matrix) {
+	DotComparator{}.PairBackward(ga, gb, g, scores, a, b)
+}
+
+func (CosComparator) CrossBackward(ga, gb vec.Matrix, g, scores, a, b vec.Matrix) {
+	DotComparator{}.CrossBackward(ga, gb, g, scores, a, b)
+}
+
+func (CosComparator) UnprepareGrad(g, prepared vec.Matrix, state []float32) {
+	for i := 0; i < g.Rows; i++ {
+		n := state[i]
+		gi := g.Row(i)
+		if n == 0 {
+			// Zero rows were left unnormalised; their cosine is constant 0,
+			// so no gradient flows.
+			vec.Zero(gi)
+			continue
+		}
+		u := prepared.Row(i)
+		proj := vec.Dot(u, gi)
+		vec.Axpy(-proj, u, gi)
+		vec.Scale(1/n, gi)
+	}
+}
+
+// SquaredL2Comparator scores by negative squared distance:
+// sim(a, b) = −‖a−b‖². Cross scores decompose into row norms plus one GEMM:
+// −(‖a_i‖² − 2⟨a_i, b_j⟩ + ‖b_j‖²).
+type SquaredL2Comparator struct{}
+
+func (SquaredL2Comparator) Name() string                   { return "squared_l2" }
+func (SquaredL2Comparator) Prepare(_ vec.Matrix) []float32 { return nil }
+
+func (SquaredL2Comparator) PairScores(out []float32, a, b vec.Matrix) {
+	for i := range out {
+		out[i] = -vec.SquaredDistance(a.Row(i), b.Row(i))
+	}
+}
+
+func (SquaredL2Comparator) CrossScores(out, a, b vec.Matrix) {
+	vec.MulABt(out, a, b)
+	aN := make([]float32, a.Rows)
+	bN := make([]float32, b.Rows)
+	for i := range aN {
+		aN[i] = vec.SumSquares(a.Row(i))
+	}
+	for j := range bN {
+		bN[j] = vec.SumSquares(b.Row(j))
+	}
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = 2*row[j] - aN[i] - bN[j]
+		}
+	}
+}
+
+func (SquaredL2Comparator) PairBackward(ga, gb vec.Matrix, g, _ []float32, a, b vec.Matrix) {
+	// d/da −‖a−b‖² = −2(a−b)
+	for i, gi := range g {
+		if gi == 0 {
+			continue
+		}
+		ar, br := a.Row(i), b.Row(i)
+		gar, gbr := ga.Row(i), gb.Row(i)
+		for k := range ar {
+			diff := 2 * gi * (ar[k] - br[k])
+			gar[k] -= diff
+			gbr[k] += diff
+		}
+	}
+}
+
+func (SquaredL2Comparator) CrossBackward(ga, gb vec.Matrix, g, _, a, b vec.Matrix) {
+	// dL/da_i = Σ_j g_ij · (−2)(a_i − b_j) = −2·rowsum_i·a_i + 2·(G·B)_i
+	// dL/db_j = Σ_i g_ij · ( 2)(a_i − b_j) =  2·(Gᵀ·A)_j − 2·colsum_j·b_j
+	rows := make([]float32, g.Rows)
+	cols := make([]float32, g.Cols)
+	for i := 0; i < g.Rows; i++ {
+		row := g.Row(i)
+		for j, v := range row {
+			rows[i] += v
+			cols[j] += v
+		}
+	}
+	// The GEMM parts.
+	tmpA := vec.NewMatrix(ga.Rows, ga.Cols)
+	tmpB := vec.NewMatrix(gb.Rows, gb.Cols)
+	vec.AddOuterAtB(tmpA, g, b)
+	vec.AddOuterGtA(tmpB, g, a)
+	for i := 0; i < ga.Rows; i++ {
+		gar, ar, tr := ga.Row(i), a.Row(i), tmpA.Row(i)
+		for k := range gar {
+			gar[k] += 2*tr[k] - 2*rows[i]*ar[k]
+		}
+	}
+	for j := 0; j < gb.Rows; j++ {
+		gbr, br, tr := gb.Row(j), b.Row(j), tmpB.Row(j)
+		for k := range gbr {
+			gbr[k] += 2*tr[k] - 2*cols[j]*br[k]
+		}
+	}
+}
+
+func (SquaredL2Comparator) UnprepareGrad(_, _ vec.Matrix, _ []float32) {}
+
+// L2Comparator scores by negative distance: sim(a, b) = −‖a−b‖. The backward
+// pass reuses the forward scores (dist = −score) to avoid recomputing norms.
+type L2Comparator struct{}
+
+const l2Eps = 1e-12
+
+func (L2Comparator) Name() string                   { return "l2" }
+func (L2Comparator) Prepare(_ vec.Matrix) []float32 { return nil }
+
+func (L2Comparator) PairScores(out []float32, a, b vec.Matrix) {
+	for i := range out {
+		out[i] = -float32(math.Sqrt(float64(vec.SquaredDistance(a.Row(i), b.Row(i))) + l2Eps))
+	}
+}
+
+func (L2Comparator) CrossScores(out, a, b vec.Matrix) {
+	SquaredL2Comparator{}.CrossScores(out, a, b)
+	for i := range out.Data {
+		sq := float64(-out.Data[i])
+		if sq < 0 {
+			sq = 0 // float32 cancellation can nudge tiny distances negative
+		}
+		out.Data[i] = -float32(math.Sqrt(sq + l2Eps))
+	}
+}
+
+func (L2Comparator) PairBackward(ga, gb vec.Matrix, g, scores []float32, a, b vec.Matrix) {
+	// score = −dist; d(score)/da = −(a−b)/dist.
+	for i, gi := range g {
+		if gi == 0 {
+			continue
+		}
+		dist := -scores[i]
+		if dist <= 0 {
+			continue
+		}
+		f := gi / dist
+		ar, br := a.Row(i), b.Row(i)
+		gar, gbr := ga.Row(i), gb.Row(i)
+		for k := range ar {
+			d := f * (ar[k] - br[k])
+			gar[k] -= d
+			gbr[k] += d
+		}
+	}
+}
+
+func (L2Comparator) CrossBackward(ga, gb vec.Matrix, g, scores, a, b vec.Matrix) {
+	// Reduce to the squared-L2 backward with rescaled upstream gradients:
+	// d(−dist)/dθ = d(−dist²)/dθ · 1/(2·dist).
+	scaled := vec.NewMatrix(g.Rows, g.Cols)
+	for i := range g.Data {
+		dist := -scores.Data[i]
+		if dist > 0 && g.Data[i] != 0 {
+			scaled.Data[i] = g.Data[i] / (2 * dist)
+		}
+	}
+	SquaredL2Comparator{}.CrossBackward(ga, gb, scaled, scores, a, b)
+}
+
+func (L2Comparator) UnprepareGrad(_, _ vec.Matrix, _ []float32) {}

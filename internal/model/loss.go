@@ -1,0 +1,145 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"pbg/internal/vec"
+)
+
+// Masked is the sentinel score that marks an excluded negative (an induced
+// positive from the chunked construction of Figure 3). Losses skip masked
+// entries entirely: they contribute neither loss nor gradient.
+const Masked float32 = -1e30
+
+// maskedThreshold separates genuine scores from sentinels.
+const maskedThreshold float32 = -1e29
+
+// IsMasked reports whether a score is the masked sentinel.
+func IsMasked(s float32) bool { return s <= maskedThreshold }
+
+// Loss scores a set of positives against per-positive negative candidates.
+// pos has length C; neg is C×N where row i holds the negative scores for
+// positive i. Compute accumulates (+=) dL/dpos into gPos, sets (=) dL/dneg
+// into gNeg, scales everything by weight (per-relation edge weight), and
+// returns the summed loss. Masked negatives are skipped.
+type Loss interface {
+	Name() string
+	Compute(pos []float32, neg vec.Matrix, gPos []float32, gNeg vec.Matrix, weight float32) float64
+}
+
+// NewLoss returns the loss registered under name: "ranking" (margin λ),
+// "logistic", or "softmax". The margin parameter only affects "ranking".
+func NewLoss(name string, margin float32) (Loss, error) {
+	switch name {
+	case "", "ranking":
+		if margin <= 0 {
+			margin = 0.1
+		}
+		return &RankingLoss{Margin: margin}, nil
+	case "logistic":
+		return LogisticLoss{}, nil
+	case "softmax":
+		return SoftmaxLoss{}, nil
+	default:
+		return nil, fmt.Errorf("model: unknown loss %q", name)
+	}
+}
+
+// RankingLoss is the margin-based ranking objective of §3.1:
+// L = Σ_e Σ_{e'} max(0, λ − f(e) + f(e')).
+type RankingLoss struct {
+	Margin float32
+}
+
+func (l *RankingLoss) Name() string { return "ranking" }
+
+func (l *RankingLoss) Compute(pos []float32, neg vec.Matrix, gPos []float32, gNeg vec.Matrix, weight float32) float64 {
+	var total float64
+	for i, p := range pos {
+		row := neg.Row(i)
+		grow := gNeg.Row(i)
+		for j, n := range row {
+			if IsMasked(n) {
+				grow[j] = 0
+				continue
+			}
+			viol := l.Margin - p + n
+			if viol > 0 {
+				total += float64(viol) * float64(weight)
+				gPos[i] -= weight
+				grow[j] = weight
+			} else {
+				grow[j] = 0
+			}
+		}
+	}
+	return total
+}
+
+// LogisticLoss is independent binary cross-entropy on positives (label 1)
+// and negatives (label 0) with the score as the logit. The paper notes this
+// choice makes partition-restricted negatives immaterial (§4.1 footnote).
+type LogisticLoss struct{}
+
+func (LogisticLoss) Name() string { return "logistic" }
+
+func (LogisticLoss) Compute(pos []float32, neg vec.Matrix, gPos []float32, gNeg vec.Matrix, weight float32) float64 {
+	var total float64
+	for i, p := range pos {
+		total += -float64(vec.LogSigmoid(p)) * float64(weight)
+		gPos[i] += (vec.Sigmoid(p) - 1) * weight
+		row := neg.Row(i)
+		grow := gNeg.Row(i)
+		for j, n := range row {
+			if IsMasked(n) {
+				grow[j] = 0
+				continue
+			}
+			total += -float64(vec.LogSigmoid(-n)) * float64(weight)
+			grow[j] = vec.Sigmoid(n) * weight
+		}
+	}
+	return total
+}
+
+// SoftmaxLoss is the multi-class objective used for the ComplEx FB15k runs
+// (§5.4.1): each positive competes against its own negatives,
+// L_i = −f(e_i) + log(exp f(e_i) + Σ_j exp f(e'_ij)).
+type SoftmaxLoss struct{}
+
+func (SoftmaxLoss) Name() string { return "softmax" }
+
+func (SoftmaxLoss) Compute(pos []float32, neg vec.Matrix, gPos []float32, gNeg vec.Matrix, weight float32) float64 {
+	var total float64
+	for i, p := range pos {
+		row := neg.Row(i)
+		grow := gNeg.Row(i)
+		// Stable logsumexp over {pos} ∪ unmasked negatives.
+		m := p
+		for _, n := range row {
+			if !IsMasked(n) && n > m {
+				m = n
+			}
+		}
+		var sum float64
+		for _, n := range row {
+			if !IsMasked(n) {
+				sum += math.Exp(float64(n - m))
+			}
+		}
+		sum += math.Exp(float64(p - m))
+		lse := float64(m) + math.Log(sum)
+		total += (lse - float64(p)) * float64(weight)
+		pPos := float32(math.Exp(float64(p) - lse))
+		gPos[i] += (pPos - 1) * weight
+		for j, n := range row {
+			if IsMasked(n) {
+				grow[j] = 0
+				continue
+			}
+			grow[j] = float32(math.Exp(float64(n)-lse)) * weight
+		}
+	}
+	return total
+}

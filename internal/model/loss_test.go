@@ -1,0 +1,223 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"pbg/internal/rng"
+	"pbg/internal/vec"
+)
+
+var allLossNames = []string{"ranking", "logistic", "softmax"}
+
+func TestNewLossUnknown(t *testing.T) {
+	if _, err := NewLoss("hinge2", 0.1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRankingLossBasic(t *testing.T) {
+	l := &RankingLoss{Margin: 1}
+	pos := []float32{5}
+	neg := vec.MatrixFrom([]float32{3, 4.5, 6}, 1, 3)
+	gPos := make([]float32, 1)
+	gNeg := vec.NewMatrix(1, 3)
+	got := l.Compute(pos, neg, gPos, gNeg, 1)
+	// Violations: 1-5+3=-1 (no), 1-5+4.5=0.5, 1-5+6=2 → loss 2.5.
+	if !approx(float32(got), 2.5, 1e-5) {
+		t.Fatalf("ranking loss = %v, want 2.5", got)
+	}
+	if gPos[0] != -2 {
+		t.Fatalf("gPos = %v, want -2", gPos[0])
+	}
+	want := []float32{0, 1, 1}
+	for i, w := range want {
+		if gNeg.Data[i] != w {
+			t.Fatalf("gNeg = %v", gNeg.Data)
+		}
+	}
+}
+
+func TestRankingLossPerfectSeparationZero(t *testing.T) {
+	l := &RankingLoss{Margin: 0.1}
+	pos := []float32{10}
+	neg := vec.MatrixFrom([]float32{-10, -5}, 1, 2)
+	gPos := make([]float32, 1)
+	gNeg := vec.NewMatrix(1, 2)
+	if got := l.Compute(pos, neg, gPos, gNeg, 1); got != 0 {
+		t.Fatalf("separated loss = %v, want 0", got)
+	}
+	if gPos[0] != 0 || gNeg.Data[0] != 0 || gNeg.Data[1] != 0 {
+		t.Fatal("gradients should be zero when separated")
+	}
+}
+
+func TestMaskedNegativesSkipped(t *testing.T) {
+	for _, name := range allLossNames {
+		l, err := NewLoss(name, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := []float32{0.3}
+		negAll := vec.MatrixFrom([]float32{0.1, Masked, 0.2}, 1, 3)
+		negSome := vec.MatrixFrom([]float32{0.1, 0.2}, 1, 2)
+		gPos1 := make([]float32, 1)
+		gPos2 := make([]float32, 1)
+		gNeg1 := vec.NewMatrix(1, 3)
+		gNeg2 := vec.NewMatrix(1, 2)
+		l1 := l.Compute(pos, negAll, gPos1, gNeg1, 1)
+		l2 := l.Compute(pos, negSome, gPos2, gNeg2, 1)
+		if math.Abs(l1-l2) > 1e-6 {
+			t.Errorf("%s: masked loss %v != unmasked %v", name, l1, l2)
+		}
+		if gNeg1.Data[1] != 0 {
+			t.Errorf("%s: masked entry received gradient %v", name, gNeg1.Data[1])
+		}
+		if !approx(gPos1[0], gPos2[0], 1e-5) {
+			t.Errorf("%s: gPos differs under masking: %v vs %v", name, gPos1[0], gPos2[0])
+		}
+	}
+}
+
+func TestWeightScalesLossAndGrads(t *testing.T) {
+	for _, name := range allLossNames {
+		l, _ := NewLoss(name, 0.5)
+		pos := []float32{0.3, -0.2}
+		neg := vec.MatrixFrom([]float32{0.1, 0.6, -0.3, 0.9}, 2, 2)
+		g1 := make([]float32, 2)
+		gn1 := vec.NewMatrix(2, 2)
+		l1 := l.Compute(pos, neg, g1, gn1, 1)
+		g2 := make([]float32, 2)
+		gn2 := vec.NewMatrix(2, 2)
+		l2 := l.Compute(pos, neg, g2, gn2, 2.5)
+		if !approx(float32(l2), float32(l1*2.5), 1e-4) {
+			t.Errorf("%s: weighted loss %v, want %v", name, l2, l1*2.5)
+		}
+		for i := range g1 {
+			if !approx(g2[i], g1[i]*2.5, 1e-4) {
+				t.Errorf("%s: weighted gPos[%d] %v, want %v", name, i, g2[i], g1[i]*2.5)
+			}
+		}
+		for i := range gn1.Data {
+			if !approx(gn2.Data[i], gn1.Data[i]*2.5, 1e-4) {
+				t.Errorf("%s: weighted gNeg[%d] %v, want %v", name, i, gn2.Data[i], gn1.Data[i]*2.5)
+			}
+		}
+	}
+}
+
+// FD check of dL/dpos and dL/dneg for every loss, choosing scores away from
+// the ranking hinge's kink so central differences are valid.
+func TestLossGradientsFiniteDifference(t *testing.T) {
+	const c, n = 3, 4
+	for _, name := range allLossNames {
+		l, _ := NewLoss(name, 0.5)
+		r := rng.New(31)
+		pos := make([]float32, c)
+		neg := vec.NewMatrix(c, n)
+		// Keep every hinge argument at least 0.1 away from zero.
+		for i := range pos {
+			pos[i] = r.NormFloat32()
+		}
+		for i := range neg.Data {
+			for {
+				v := r.NormFloat32()
+				ok := true
+				for j := range pos {
+					arg := 0.5 - pos[j] + v
+					if abs32(arg) < 0.1 {
+						ok = false
+					}
+				}
+				if ok {
+					neg.Data[i] = v
+					break
+				}
+			}
+		}
+		gPos := make([]float32, c)
+		gNeg := vec.NewMatrix(c, n)
+		l.Compute(pos, neg, gPos, gNeg, 1.3)
+
+		loss := func() float64 {
+			gp := make([]float32, c)
+			gn := vec.NewMatrix(c, n)
+			return l.Compute(pos, neg, gp, gn, 1.3)
+		}
+		const h = 1e-3
+		for i := range pos {
+			old := pos[i]
+			pos[i] = old + h
+			lp := loss()
+			pos[i] = old - h
+			lm := loss()
+			pos[i] = old
+			fd := float32((lp - lm) / (2 * h))
+			if !approx(fd, gPos[i], 2e-2) {
+				t.Errorf("%s: gPos[%d] analytic %v vs fd %v", name, i, gPos[i], fd)
+			}
+		}
+		for i := range neg.Data {
+			old := neg.Data[i]
+			neg.Data[i] = old + h
+			lp := loss()
+			neg.Data[i] = old - h
+			lm := loss()
+			neg.Data[i] = old
+			fd := float32((lp - lm) / (2 * h))
+			if !approx(fd, gNeg.Data[i], 2e-2) {
+				t.Errorf("%s: gNeg[%d] analytic %v vs fd %v", name, i, gNeg.Data[i], fd)
+			}
+		}
+	}
+}
+
+func TestSoftmaxLossGradSumsToZero(t *testing.T) {
+	// For softmax, dL/dpos + Σ dL/dneg = 0 per positive (probabilities sum
+	// to one).
+	l := SoftmaxLoss{}
+	r := rng.New(37)
+	pos := make([]float32, 5)
+	neg := vec.NewMatrix(5, 7)
+	fill(r, pos)
+	fill(r, neg.Data)
+	gPos := make([]float32, 5)
+	gNeg := vec.NewMatrix(5, 7)
+	l.Compute(pos, neg, gPos, gNeg, 1)
+	for i := 0; i < 5; i++ {
+		s := gPos[i]
+		for _, v := range gNeg.Row(i) {
+			s += v
+		}
+		if abs32(s) > 1e-4 {
+			t.Fatalf("softmax grads for positive %d sum to %v, want 0", i, s)
+		}
+	}
+}
+
+func TestLogisticLossAtZeroScores(t *testing.T) {
+	l := LogisticLoss{}
+	pos := []float32{0}
+	neg := vec.MatrixFrom([]float32{0}, 1, 1)
+	gPos := make([]float32, 1)
+	gNeg := vec.NewMatrix(1, 1)
+	got := l.Compute(pos, neg, gPos, gNeg, 1)
+	want := 2 * math.Log(2) // −log σ(0) twice
+	if math.Abs(got-want) > 1e-5 {
+		t.Fatalf("logistic loss at 0 = %v, want %v", got, want)
+	}
+	if !approx(gPos[0], -0.5, 1e-5) || !approx(gNeg.Data[0], 0.5, 1e-5) {
+		t.Fatalf("logistic grads %v / %v", gPos[0], gNeg.Data[0])
+	}
+}
+
+func TestNewLossDefaultMargin(t *testing.T) {
+	l, err := NewLoss("ranking", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := l.(*RankingLoss)
+	if rl.Margin <= 0 {
+		t.Fatalf("default margin = %v, want > 0", rl.Margin)
+	}
+}

@@ -1,0 +1,222 @@
+package model
+
+import (
+	"testing"
+
+	"pbg/internal/rng"
+)
+
+func fill(r *rng.RNG, xs []float32) {
+	for i := range xs {
+		xs[i] = r.NormFloat32() * 0.5
+	}
+}
+
+func approx(a, b, tol float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := float32(1)
+	if aa := abs32(a); aa > m {
+		m = aa
+	}
+	if bb := abs32(b); bb > m {
+		m = bb
+	}
+	return d <= tol*m
+}
+
+func abs32(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var allOperatorNames = []string{"identity", "translation", "diagonal", "linear", "complex_diagonal"}
+
+func TestNewOperatorUnknown(t *testing.T) {
+	if _, err := NewOperator("frobnicate", 4); err == nil {
+		t.Fatal("expected error for unknown operator")
+	}
+}
+
+func TestNewOperatorComplexOddDim(t *testing.T) {
+	if _, err := NewOperator("complex_diagonal", 5); err == nil {
+		t.Fatal("expected error for odd dimension")
+	}
+}
+
+func TestOperatorParamCounts(t *testing.T) {
+	const d = 6
+	want := map[string]int{
+		"identity":         0,
+		"translation":      d,
+		"diagonal":         d,
+		"linear":           d * d,
+		"complex_diagonal": d,
+	}
+	for name, w := range want {
+		op, err := NewOperator(name, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := op.ParamCount(d); got != w {
+			t.Errorf("%s: ParamCount = %d, want %d", name, got, w)
+		}
+	}
+}
+
+// Identity-like initialisation must make every operator a no-op at start,
+// which is what lets untrained relations behave as plain similarity.
+func TestOperatorInitIsIdentity(t *testing.T) {
+	const d = 6
+	r := rng.New(1)
+	x := make([]float32, d)
+	fill(r, x)
+	for _, name := range allOperatorNames {
+		op, err := NewOperator(name, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := make([]float32, op.ParamCount(d))
+		op.InitParams(params, r)
+		dst := make([]float32, d)
+		op.Apply(dst, x, params)
+		for i := range x {
+			if !approx(dst[i], x[i], 1e-5) {
+				t.Errorf("%s: init apply differs at %d: %v vs %v", name, i, dst[i], x[i])
+			}
+		}
+	}
+}
+
+// TestOperatorGradients checks every operator's Backward against finite
+// differences of a random linear functional of Apply's output.
+func TestOperatorGradients(t *testing.T) {
+	const d = 6
+	for _, name := range allOperatorNames {
+		op, err := NewOperator(name, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(42)
+		x := make([]float32, d)
+		params := make([]float32, op.ParamCount(d))
+		gOut := make([]float32, d)
+		fill(r, x)
+		fill(r, params)
+		fill(r, gOut)
+
+		loss := func() float64 {
+			dst := make([]float32, d)
+			op.Apply(dst, x, params)
+			var s float64
+			for i := range dst {
+				s += float64(dst[i] * gOut[i])
+			}
+			return s
+		}
+		gX := make([]float32, d)
+		gP := make([]float32, len(params))
+		op.Backward(gX, gP, x, params, gOut)
+
+		const h = 1e-2
+		for i := range x {
+			old := x[i]
+			x[i] = old + h
+			lp := loss()
+			x[i] = old - h
+			lm := loss()
+			x[i] = old
+			fd := float32((lp - lm) / (2 * h))
+			if !approx(fd, gX[i], 2e-2) {
+				t.Errorf("%s: gX[%d] analytic %v vs fd %v", name, i, gX[i], fd)
+			}
+		}
+		for i := range params {
+			old := params[i]
+			params[i] = old + h
+			lp := loss()
+			params[i] = old - h
+			lm := loss()
+			params[i] = old
+			fd := float32((lp - lm) / (2 * h))
+			if !approx(fd, gP[i], 2e-2) {
+				t.Errorf("%s: gParams[%d] analytic %v vs fd %v", name, i, gP[i], fd)
+			}
+		}
+	}
+}
+
+// Backward with nil gParams must not touch parameters and still produce gX.
+func TestOperatorBackwardNilParams(t *testing.T) {
+	const d = 4
+	r := rng.New(7)
+	for _, name := range []string{"translation", "diagonal", "linear"} {
+		op, _ := NewOperator(name, d)
+		x := make([]float32, d)
+		params := make([]float32, op.ParamCount(d))
+		gOut := make([]float32, d)
+		fill(r, x)
+		fill(r, params)
+		fill(r, gOut)
+		gX := make([]float32, d)
+		op.Backward(gX, nil, x, params, gOut) // must not panic
+		nonzero := false
+		for _, v := range gX {
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			t.Errorf("%s: gX all zero with nil gParams", name)
+		}
+	}
+}
+
+func TestComplexDiagonalMatchesComplexAlgebra(t *testing.T) {
+	// d=4 → 2 complex numbers. x = (1+2i, 3+0i), w = (0+1i, 2+2i).
+	x := []float32{1, 3, 2, 0}
+	w := []float32{0, 2, 1, 2}
+	op := ComplexDiagonalOperator{}
+	dst := make([]float32, 4)
+	op.Apply(dst, x, w)
+	// (1+2i)(0+1i) = -2+1i ; (3+0i)(2+2i) = 6+6i
+	want := []float32{-2, 6, 1, 6}
+	for i := range want {
+		if !approx(dst[i], want[i], 1e-5) {
+			t.Fatalf("complex apply[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestLinearOperatorApply(t *testing.T) {
+	op := LinearOperator{}
+	// 2x2 matrix [[1,2],[3,4]], x = [1,1] → [3,7]
+	params := []float32{1, 2, 3, 4}
+	dst := make([]float32, 2)
+	op.Apply(dst, []float32{1, 1}, params)
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Fatalf("linear apply = %v", dst)
+	}
+}
+
+func TestRelParamCountReciprocal(t *testing.T) {
+	s, err := NewScorer(8, "translation", "dot", "ranking", 0.1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RelParamCount() != 16 {
+		t.Fatalf("reciprocal RelParamCount = %d, want 16", s.RelParamCount())
+	}
+	fwd, rev := s.SplitRelParams(make([]float32, 16))
+	if len(fwd) != 8 || len(rev) != 8 {
+		t.Fatalf("split sizes %d/%d", len(fwd), len(rev))
+	}
+	s2, _ := NewScorer(8, "identity", "dot", "ranking", 0.1, true)
+	if s2.RelParamCount() != 0 {
+		t.Fatal("identity reciprocal should still need 0 params")
+	}
+}

@@ -1,0 +1,115 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRowAdagradFirstStep(t *testing.T) {
+	o := NewRowAdagrad(0.1)
+	param := []float32{1, 1}
+	grad := []float32{1, -1}
+	var acc float32
+	o.Update(param, grad, &acc)
+	// A = (1+1)/2 = 1; step = 0.1/(1+eps).
+	if math.Abs(float64(acc-1)) > 1e-6 {
+		t.Fatalf("acc = %v, want 1", acc)
+	}
+	if math.Abs(float64(param[0]-0.9)) > 1e-5 || math.Abs(float64(param[1]-1.1)) > 1e-5 {
+		t.Fatalf("param = %v", param)
+	}
+}
+
+func TestRowAdagradShrinksSteps(t *testing.T) {
+	o := NewRowAdagrad(0.1)
+	param := []float32{0}
+	var acc float32
+	prev := float32(0)
+	var steps []float32
+	for i := 0; i < 5; i++ {
+		o.Update(param, []float32{1}, &acc)
+		steps = append(steps, prev-param[0])
+		prev = param[0]
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] >= steps[i-1] {
+			t.Fatalf("Adagrad steps not decreasing: %v", steps)
+		}
+	}
+}
+
+func TestRowAdagradZeroGradNoop(t *testing.T) {
+	o := NewRowAdagrad(0.1)
+	param := []float32{3, 4}
+	var acc float32 = 2
+	o.Update(param, []float32{0, 0}, &acc)
+	if param[0] != 3 || param[1] != 4 || acc != 2 {
+		t.Fatal("zero gradient must not change state")
+	}
+}
+
+func TestRowAdagradAccumulatorIsMeanSquare(t *testing.T) {
+	o := NewRowAdagrad(1)
+	param := make([]float32, 4)
+	var acc float32
+	o.Update(param, []float32{2, 2, 2, 2}, &acc)
+	if math.Abs(float64(acc-4)) > 1e-6 {
+		t.Fatalf("acc = %v, want mean square 4", acc)
+	}
+}
+
+func TestDenseAdagrad(t *testing.T) {
+	o := NewDenseAdagrad(0.5, 3)
+	param := []float32{1, 1, 1}
+	o.Update(param, []float32{1, 0, 2})
+	// Elements with zero grad untouched, including their accumulator.
+	if param[1] != 1 || o.Acc[1] != 0 {
+		t.Fatal("zero-grad element modified")
+	}
+	if param[0] >= 1 || param[2] >= 1 {
+		t.Fatalf("param = %v", param)
+	}
+	// Per-element accumulators differ.
+	if o.Acc[0] != 1 || o.Acc[2] != 4 {
+		t.Fatalf("acc = %v", o.Acc)
+	}
+	o.Reset()
+	for _, a := range o.Acc {
+		if a != 0 {
+			t.Fatal("Reset did not clear accumulator")
+		}
+	}
+}
+
+func TestDenseAdagradSizeMismatchPanics(t *testing.T) {
+	o := NewDenseAdagrad(0.5, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	o.Update([]float32{1, 2, 3}, []float32{1, 2, 3})
+}
+
+func TestSGD(t *testing.T) {
+	o := SGD{LR: 0.1}
+	param := []float32{1}
+	o.Update(param, []float32{2})
+	if math.Abs(float64(param[0]-0.8)) > 1e-6 {
+		t.Fatalf("param = %v, want 0.8", param[0])
+	}
+}
+
+func TestRowAdagradConvergesOnQuadratic(t *testing.T) {
+	// Minimise (x-3)² with row Adagrad; must approach 3.
+	o := NewRowAdagrad(0.5)
+	param := []float32{0}
+	var acc float32
+	for i := 0; i < 500; i++ {
+		g := 2 * (param[0] - 3)
+		o.Update(param, []float32{g}, &acc)
+	}
+	if math.Abs(float64(param[0]-3)) > 0.05 {
+		t.Fatalf("converged to %v, want 3", param[0])
+	}
+}

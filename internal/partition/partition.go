@@ -1,0 +1,309 @@
+// Package partition implements §4.1 of the paper: the division of edges
+// into buckets by (source partition, destination partition), the orderings
+// in which buckets are trained — most importantly the 'inside-out' order of
+// Figure 1, which guarantees every bucket after the first touches at least
+// one previously-trained partition — and the scheduler the lock server uses
+// to hand out buckets with pairwise-disjoint partitions in distributed mode.
+package partition
+
+import (
+	"fmt"
+	"sync"
+
+	"pbg/internal/rng"
+)
+
+// Bucket identifies one block of the adjacency matrix: source partition P1,
+// destination partition P2.
+type Bucket struct {
+	P1, P2 int
+}
+
+// Index returns the linear index of b given nDst destination partitions.
+func (b Bucket) Index(nDst int) int { return b.P1*nDst + b.P2 }
+
+// String renders the bucket like "(1,2)".
+func (b Bucket) String() string { return fmt.Sprintf("(%d,%d)", b.P1, b.P2) }
+
+// Parts returns the set of distinct partitions the bucket touches. Source
+// and destination partitions index the same space when both sides of a
+// relation share an entity type; for mixed types the trainer maps them to
+// per-type storage, but the locking and ordering logic operates on the
+// combined coordinates, exactly as in the paper's single-entity exposition.
+func (b Bucket) Parts() []int {
+	if b.P1 == b.P2 {
+		return []int{b.P1}
+	}
+	return []int{b.P1, b.P2}
+}
+
+// Disjoint reports whether two buckets share no partition (and can therefore
+// train concurrently, Figure 1 left).
+func (b Bucket) Disjoint(o Bucket) bool {
+	return b.P1 != o.P1 && b.P1 != o.P2 && b.P2 != o.P1 && b.P2 != o.P2
+}
+
+// Ordering names implemented by Order.
+const (
+	OrderInsideOut  = "inside_out"
+	OrderSequential = "sequential"
+	OrderRandom     = "random"
+	OrderChained    = "chained"
+)
+
+// Order returns the list of all nSrc×nDst buckets in the requested order.
+// seed only affects "random".
+func Order(name string, nSrc, nDst int, seed uint64) ([]Bucket, error) {
+	if nSrc <= 0 || nDst <= 0 {
+		return nil, fmt.Errorf("partition: non-positive partition counts %d×%d", nSrc, nDst)
+	}
+	switch name {
+	case "", OrderInsideOut:
+		return insideOut(nSrc, nDst), nil
+	case OrderSequential:
+		out := make([]Bucket, 0, nSrc*nDst)
+		for i := 0; i < nSrc; i++ {
+			for j := 0; j < nDst; j++ {
+				out = append(out, Bucket{i, j})
+			}
+		}
+		return out, nil
+	case OrderRandom:
+		out, _ := Order(OrderSequential, nSrc, nDst, 0)
+		r := rng.New(seed)
+		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out, nil
+	case OrderChained:
+		return chained(nSrc, nDst), nil
+	default:
+		return nil, fmt.Errorf("partition: unknown ordering %q", name)
+	}
+}
+
+// insideOut produces the Figure 1 (right) ordering: growing square shells
+// from (0,0). Shell k contributes (0,k), (1,k), …, (k,k), (k,k−1), …, (k,0);
+// consecutive buckets share a partition, so swaps are minimised, and every
+// bucket after the first touches a previously-trained partition.
+func insideOut(nSrc, nDst int) []Bucket {
+	maxP := nSrc
+	if nDst > maxP {
+		maxP = nDst
+	}
+	out := make([]Bucket, 0, nSrc*nDst)
+	add := func(b Bucket) {
+		if b.P1 < nSrc && b.P2 < nDst {
+			out = append(out, b)
+		}
+	}
+	for k := 0; k < maxP; k++ {
+		for i := 0; i <= k; i++ {
+			add(Bucket{i, k})
+		}
+		for j := k - 1; j >= 0; j-- {
+			add(Bucket{k, j})
+		}
+	}
+	return out
+}
+
+// chained produces a boustrophedon walk: row by row, alternating direction,
+// so consecutive buckets always share their source partition (within a row)
+// or sit in adjacent rows sharing the destination partition at the turn.
+func chained(nSrc, nDst int) []Bucket {
+	out := make([]Bucket, 0, nSrc*nDst)
+	for i := 0; i < nSrc; i++ {
+		if i%2 == 0 {
+			for j := 0; j < nDst; j++ {
+				out = append(out, Bucket{i, j})
+			}
+		} else {
+			for j := nDst - 1; j >= 0; j-- {
+				out = append(out, Bucket{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// CheckInvariant reports whether every bucket after the first touches at
+// least one partition that appeared in an earlier bucket — the alignment
+// condition of §4.1 that keeps all partitions in one embedding space.
+func CheckInvariant(order []Bucket) bool {
+	if len(order) <= 1 {
+		return true
+	}
+	seen := map[int]bool{}
+	for i, b := range order {
+		if i > 0 && !seen[b.P1] && !seen[b.P2] {
+			return false
+		}
+		seen[b.P1] = true
+		seen[b.P2] = true
+	}
+	return true
+}
+
+// SwapCount simulates executing the order on a single machine that holds
+// only the partitions of the current bucket in memory, and returns the
+// number of partition loads from disk (the I/O the inside-out order
+// minimises).
+func SwapCount(order []Bucket) int {
+	held := map[int]bool{}
+	loads := 0
+	for _, b := range order {
+		need := map[int]bool{}
+		for _, p := range b.Parts() {
+			need[p] = true
+			if !held[p] {
+				loads++
+			}
+		}
+		held = need
+	}
+	return loads
+}
+
+// Scheduler is the bucket-leasing state machine behind the lock server
+// (§4.2): it hands out buckets whose partitions are disjoint from all
+// in-flight buckets, enforces the two-uninitialised-partitions rule, and
+// prefers buckets that reuse a worker's currently held partitions to
+// minimise communication.
+type Scheduler struct {
+	mu          sync.Mutex
+	order       []Bucket
+	done        map[Bucket]bool
+	inFlight    map[Bucket]bool
+	locked      map[int]bool
+	initialized map[int]bool
+	anyStarted  bool
+}
+
+// NewScheduler creates a scheduler over the given bucket order. If
+// preInitialized is true every partition counts as initialised (used from
+// the second epoch on).
+func NewScheduler(order []Bucket, preInitialized bool) *Scheduler {
+	s := &Scheduler{
+		order:       append([]Bucket(nil), order...),
+		done:        make(map[Bucket]bool, len(order)),
+		inFlight:    make(map[Bucket]bool),
+		locked:      make(map[int]bool),
+		initialized: make(map[int]bool),
+	}
+	if preInitialized {
+		for _, b := range order {
+			s.initialized[b.P1] = true
+			s.initialized[b.P2] = true
+		}
+		s.anyStarted = true
+	}
+	return s
+}
+
+// Reset starts a new epoch: all buckets become pending again, but the
+// initialised set is retained.
+func (s *Scheduler) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = make(map[Bucket]bool, len(s.order))
+	s.inFlight = make(map[Bucket]bool)
+	s.locked = make(map[int]bool)
+}
+
+// Acquire leases the next available bucket. held lists partitions the
+// caller currently has in memory (for affinity). It returns:
+//
+//	bucket, true, false  — lease granted
+//	_, false, false      — nothing available right now (retry after a Release)
+//	_, false, true       — all buckets done this epoch
+func (s *Scheduler) Acquire(held []int) (Bucket, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.done) == len(s.order) {
+		return Bucket{}, false, true
+	}
+	heldSet := map[int]bool{}
+	for _, p := range held {
+		heldSet[p] = true
+	}
+	var best Bucket
+	bestScore := -1
+	for _, b := range s.order {
+		if s.done[b] || s.inFlight[b] || s.locked[b.P1] || s.locked[b.P2] {
+			continue
+		}
+		if s.anyStarted && !s.initialized[b.P1] && !s.initialized[b.P2] {
+			// Only the first bucket may touch two uninitialised partitions.
+			continue
+		}
+		score := 0
+		if heldSet[b.P1] {
+			score++
+		}
+		if heldSet[b.P2] {
+			score++
+		}
+		if score > bestScore {
+			best, bestScore = b, score
+		}
+		if bestScore == 2 {
+			break
+		}
+	}
+	if bestScore < 0 {
+		return Bucket{}, false, false
+	}
+	s.anyStarted = true
+	s.inFlight[best] = true
+	s.locked[best.P1] = true
+	s.locked[best.P2] = true
+	return best, true, false
+}
+
+// Release marks a leased bucket complete, unlocking its partitions and
+// marking them initialised.
+func (s *Scheduler) Release(b Bucket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.inFlight[b] {
+		panic(fmt.Sprintf("partition: Release of non-leased bucket %v", b))
+	}
+	delete(s.inFlight, b)
+	s.done[b] = true
+	s.locked[b.P1] = false
+	s.locked[b.P2] = false
+	s.initialized[b.P1] = true
+	s.initialized[b.P2] = true
+}
+
+// Abandon returns a leased bucket to the pending pool without marking it
+// done (e.g. a worker died); its partitions are NOT marked initialised.
+func (s *Scheduler) Abandon(b Bucket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.inFlight[b] {
+		return
+	}
+	delete(s.inFlight, b)
+	s.locked[b.P1] = false
+	s.locked[b.P2] = false
+	// If the abandoned bucket was the very first one (nothing initialised
+	// yet and nothing else running), re-open the first-bucket exception so
+	// training can restart.
+	if len(s.inFlight) == 0 && len(s.initialized) == 0 {
+		s.anyStarted = false
+	}
+}
+
+// Remaining returns the number of buckets not yet completed this epoch.
+func (s *Scheduler) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order) - len(s.done)
+}
+
+// InFlight returns the number of currently leased buckets.
+func (s *Scheduler) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inFlight)
+}

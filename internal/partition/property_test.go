@@ -1,0 +1,110 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: every ordering covers all buckets exactly once for arbitrary
+// grid shapes.
+func TestOrderCoverageProperty(t *testing.T) {
+	f := func(srcRaw, dstRaw uint8, seed uint64) bool {
+		nSrc := int(srcRaw)%10 + 1
+		nDst := int(dstRaw)%10 + 1
+		for _, name := range []string{OrderInsideOut, OrderSequential, OrderRandom, OrderChained} {
+			order, err := Order(name, nSrc, nDst, seed)
+			if err != nil {
+				return false
+			}
+			if len(order) != nSrc*nDst {
+				return false
+			}
+			seen := map[Bucket]bool{}
+			for _, b := range order {
+				if b.P1 < 0 || b.P1 >= nSrc || b.P2 < 0 || b.P2 >= nDst || seen[b] {
+					return false
+				}
+				seen[b] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inside-out satisfies the §4.1 invariant on every square grid.
+func TestInsideOutInvariantProperty(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		p := int(pRaw)%16 + 1
+		order, err := Order(OrderInsideOut, p, p, 0)
+		if err != nil {
+			return false
+		}
+		return CheckInvariant(order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the scheduler never leases overlapping buckets, regardless of
+// the acquire/release interleaving pattern driven by arbitrary byte input.
+func TestSchedulerNeverOverlapsProperty(t *testing.T) {
+	f := func(pRaw uint8, script []byte) bool {
+		p := int(pRaw)%6 + 2
+		order, _ := Order(OrderInsideOut, p, p, 0)
+		s := NewScheduler(order, true)
+		held := []Bucket{}
+		locked := map[int]int{}
+		for _, op := range script {
+			if op%2 == 0 || len(held) == 0 {
+				b, ok, done := s.Acquire(nil)
+				if done {
+					break
+				}
+				if !ok {
+					continue
+				}
+				for _, part := range b.Parts() {
+					locked[part]++
+					if locked[part] > 1 {
+						return false
+					}
+				}
+				held = append(held, b)
+			} else {
+				b := held[len(held)-1]
+				held = held[:len(held)-1]
+				for _, part := range b.Parts() {
+					locked[part]--
+				}
+				s.Release(b)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SwapCount is bounded below by the number of distinct partitions
+// (each must be loaded at least once) and above by 2×buckets.
+func TestSwapCountBoundsProperty(t *testing.T) {
+	f := func(pRaw uint8, seed uint64) bool {
+		p := int(pRaw)%8 + 1
+		for _, name := range []string{OrderInsideOut, OrderSequential, OrderRandom, OrderChained} {
+			order, _ := Order(name, p, p, seed)
+			swaps := SwapCount(order)
+			if swaps < p || swaps > 2*len(order) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

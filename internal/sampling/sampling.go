@@ -1,0 +1,142 @@
+// Package sampling implements PBG's negative sampling strategies (§3.1):
+// a fraction α of negatives is drawn from the data-prevalence distribution
+// (entities weighted by their training-set degree) and 1−α uniformly at
+// random. Samplers are constrained to the entity type of the corrupted side
+// (§3.1's multi-entity rule) and, under partitioned training, to the
+// partition of the current bucket (§4.1's first functional change).
+package sampling
+
+import (
+	"fmt"
+
+	"pbg/internal/graph"
+	"pbg/internal/rng"
+)
+
+// Sampler draws entity IDs (global, within one entity type).
+type Sampler interface {
+	Sample(r *rng.RNG) int32
+}
+
+// Uniform samples uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi int32
+}
+
+// Sample returns a uniform entity ID in the range.
+func (u Uniform) Sample(r *rng.RNG) int32 {
+	return u.Lo + int32(r.Intn(int(u.Hi-u.Lo)))
+}
+
+// Prevalence samples entities proportionally to their training-set degree
+// via a Walker alias table. Entities with zero degree in the slice are never
+// produced unless all degrees are zero (then it degenerates to uniform).
+type Prevalence struct {
+	lo    int32
+	alias *rng.Alias
+}
+
+// NewPrevalence builds a prevalence sampler over entities [lo, lo+len(w))
+// with weights w (typically degree counts).
+func NewPrevalence(lo int32, w []float64) *Prevalence {
+	return &Prevalence{lo: lo, alias: rng.NewAlias(w)}
+}
+
+// Sample returns an entity ID drawn ∝ weight.
+func (p *Prevalence) Sample(r *rng.RNG) int32 {
+	return p.lo + int32(p.alias.Sample(r))
+}
+
+// Mixed implements the α-mixture of §3.1: with probability Alpha sample from
+// Data (prevalence), otherwise from Unif. The paper's default is α = 0.5.
+type Mixed struct {
+	Alpha float32
+	Data  Sampler
+	Unif  Sampler
+}
+
+// Sample draws from the mixture.
+func (m Mixed) Sample(r *rng.RNG) int32 {
+	if r.Float32() < m.Alpha {
+		return m.Data.Sample(r)
+	}
+	return m.Unif.Sample(r)
+}
+
+// Set provides, for every (entity type, partition) pair, the negative
+// sampler the trainer uses when corrupting an edge endpoint of that type
+// inside that partition. Unpartitioned types have a single partition 0
+// spanning all entities.
+type Set struct {
+	// byTypePart[t][p] is the sampler for entity type index t, partition p.
+	byTypePart [][]Sampler
+	schema     *graph.Schema
+}
+
+// NewSet builds the sampler set. alpha is the data-prevalence fraction;
+// degrees may be nil, in which case sampling is purely uniform regardless of
+// alpha.
+func NewSet(schema *graph.Schema, degrees *graph.Degrees, alpha float32) *Set {
+	s := &Set{byTypePart: make([][]Sampler, len(schema.Entities)), schema: schema}
+	for t, e := range schema.Entities {
+		parts := make([]Sampler, e.NumPartitions)
+		for p := 0; p < e.NumPartitions; p++ {
+			size := e.PartitionCount(p)
+			lo := int32(p * e.PartSize())
+			hi := lo + int32(size)
+			uni := Uniform{Lo: lo, Hi: hi}
+			if degrees == nil || alpha <= 0 {
+				parts[p] = uni
+				continue
+			}
+			w := degrees.ByType[t][lo:hi]
+			prev := NewPrevalence(lo, w)
+			if alpha >= 1 {
+				parts[p] = prev
+			} else {
+				parts[p] = Mixed{Alpha: alpha, Data: prev, Unif: uni}
+			}
+		}
+		s.byTypePart[t] = parts
+	}
+	return s
+}
+
+// ForTypePartition returns the sampler for entity type index t, partition p.
+func (s *Set) ForTypePartition(t, p int) Sampler {
+	if t < 0 || t >= len(s.byTypePart) {
+		panic(fmt.Sprintf("sampling: entity type index %d out of range", t))
+	}
+	parts := s.byTypePart[t]
+	if p < 0 || p >= len(parts) {
+		panic(fmt.Sprintf("sampling: partition %d out of range for type %d", p, t))
+	}
+	return parts[p]
+}
+
+// ForRelationDest returns the sampler used to corrupt destinations of
+// relation rel inside destination-partition p (0 for unpartitioned types).
+func (s *Set) ForRelationDest(rel int32, p int) Sampler {
+	t := s.schema.EntityTypeIndex(s.schema.Relations[rel].DestType)
+	if !s.schema.Entities[t].Partitioned() {
+		p = 0
+	}
+	return s.ForTypePartition(t, p)
+}
+
+// ForRelationSource returns the sampler used to corrupt sources of relation
+// rel inside source-partition p.
+func (s *Set) ForRelationSource(rel int32, p int) Sampler {
+	t := s.schema.EntityTypeIndex(s.schema.Relations[rel].SourceType)
+	if !s.schema.Entities[t].Partitioned() {
+		p = 0
+	}
+	return s.ForTypePartition(t, p)
+}
+
+// SampleMany fills ids with n draws from smp.
+func SampleMany(smp Sampler, r *rng.RNG, ids []int32) {
+	for i := range ids {
+		ids[i] = smp.Sample(r)
+	}
+}

@@ -1,0 +1,207 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"pbg/internal/graph"
+	"pbg/internal/rng"
+)
+
+func testSchema(t *testing.T) *graph.Schema {
+	t.Helper()
+	return graph.MustSchema(
+		[]graph.EntityType{
+			{Name: "user", Count: 100, NumPartitions: 4},
+			{Name: "item", Count: 10, NumPartitions: 1},
+		},
+		[]graph.RelationType{
+			{Name: "buys", SourceType: "user", DestType: "item", Operator: "identity"},
+			{Name: "follows", SourceType: "user", DestType: "user", Operator: "identity"},
+		},
+	)
+}
+
+func TestUniformStaysInRange(t *testing.T) {
+	u := Uniform{Lo: 10, Hi: 20}
+	r := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		v := u.Sample(r)
+		if v < 10 || v >= 20 {
+			t.Fatalf("uniform sample %d out of [10,20)", v)
+		}
+	}
+}
+
+func TestPrevalenceFollowsWeights(t *testing.T) {
+	p := NewPrevalence(5, []float64{0, 1, 3})
+	r := rng.New(2)
+	counts := map[int32]int{}
+	for i := 0; i < 40000; i++ {
+		counts[p.Sample(r)]++
+	}
+	if counts[5] != 0 {
+		t.Fatalf("zero-weight entity sampled %d times", counts[5])
+	}
+	ratio := float64(counts[7]) / float64(counts[6])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestMixedAlphaZeroIsUniform(t *testing.T) {
+	// With alpha=0 the data sampler must never fire; use a prevalence
+	// sampler that would panic the test if consulted.
+	m := Mixed{Alpha: 0, Data: NewPrevalence(1000, []float64{1}), Unif: Uniform{Lo: 0, Hi: 10}}
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		if v := m.Sample(r); v >= 10 {
+			t.Fatalf("alpha=0 mixed sampler produced data sample %d", v)
+		}
+	}
+}
+
+func TestMixedAlphaProportions(t *testing.T) {
+	// Data sampler always yields 0; uniform always yields 1 (range [1,2)).
+	m := Mixed{Alpha: 0.3, Data: NewPrevalence(0, []float64{1}), Unif: Uniform{Lo: 1, Hi: 2}}
+	r := rng.New(4)
+	const n = 100000
+	zeros := 0
+	for i := 0; i < n; i++ {
+		if m.Sample(r) == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("data fraction = %v, want 0.3", frac)
+	}
+}
+
+func TestSetPartitionConstrained(t *testing.T) {
+	schema := testSchema(t)
+	set := NewSet(schema, nil, 0)
+	r := rng.New(5)
+	// user partitions are [0,25), [25,50), [50,75), [75,100).
+	for p := 0; p < 4; p++ {
+		smp := set.ForTypePartition(0, p)
+		for i := 0; i < 1000; i++ {
+			v := smp.Sample(r)
+			if int(v) < p*25 || int(v) >= (p+1)*25 {
+				t.Fatalf("partition %d sampler yielded %d", p, v)
+			}
+		}
+	}
+}
+
+func TestSetUnpartitionedTypeIgnoresPartition(t *testing.T) {
+	schema := testSchema(t)
+	set := NewSet(schema, nil, 0)
+	r := rng.New(6)
+	// Relation 0 ("buys") has unpartitioned dest type "item": any bucket
+	// partition must map to the whole range.
+	smp := set.ForRelationDest(0, 3)
+	seen := map[int32]bool{}
+	for i := 0; i < 1000; i++ {
+		v := smp.Sample(r)
+		if v < 0 || v >= 10 {
+			t.Fatalf("item sample %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("unpartitioned sampler covered only %d/10 items", len(seen))
+	}
+}
+
+func TestSetForRelationSource(t *testing.T) {
+	schema := testSchema(t)
+	set := NewSet(schema, nil, 0)
+	r := rng.New(7)
+	smp := set.ForRelationSource(1, 2) // "follows" src = user, partition 2
+	for i := 0; i < 1000; i++ {
+		v := smp.Sample(r)
+		if v < 50 || v >= 75 {
+			t.Fatalf("source sample %d outside partition 2", v)
+		}
+	}
+}
+
+func TestSetWithDegreesPrefersPopular(t *testing.T) {
+	schema := testSchema(t)
+	deg := &graph.Degrees{ByType: [][]float64{make([]float64, 100), make([]float64, 10)}}
+	// Entity 3 of "item" is hugely popular.
+	for i := range deg.ByType[1] {
+		deg.ByType[1][i] = 1
+	}
+	deg.ByType[1][3] = 1000
+	for i := range deg.ByType[0] {
+		deg.ByType[0][i] = 1
+	}
+	set := NewSet(schema, deg, 1.0) // pure prevalence
+	r := rng.New(8)
+	smp := set.ForRelationDest(0, 0)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if smp.Sample(r) == 3 {
+			hits++
+		}
+	}
+	if hits < 9000 {
+		t.Fatalf("popular entity sampled only %d/10000", hits)
+	}
+}
+
+func TestSetAlphaHalfMixes(t *testing.T) {
+	schema := testSchema(t)
+	deg := &graph.Degrees{ByType: [][]float64{make([]float64, 100), make([]float64, 10)}}
+	// Only item 0 appears in data.
+	deg.ByType[1][0] = 5
+	for i := range deg.ByType[0] {
+		deg.ByType[0][i] = 1
+	}
+	set := NewSet(schema, deg, 0.5)
+	r := rng.New(9)
+	smp := set.ForRelationDest(0, 0)
+	zero := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if smp.Sample(r) == 0 {
+			zero++
+		}
+	}
+	// P(0) = 0.5·1 + 0.5·0.1 = 0.55.
+	frac := float64(zero) / n
+	if math.Abs(frac-0.55) > 0.02 {
+		t.Fatalf("item-0 fraction = %v, want ~0.55", frac)
+	}
+}
+
+func TestSampleMany(t *testing.T) {
+	u := Uniform{Lo: 0, Hi: 5}
+	ids := make([]int32, 64)
+	SampleMany(u, rng.New(10), ids)
+	for _, v := range ids {
+		if v < 0 || v >= 5 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestSetOutOfRangePanics(t *testing.T) {
+	schema := testSchema(t)
+	set := NewSet(schema, nil, 0)
+	for _, fn := range []func(){
+		func() { set.ForTypePartition(99, 0) },
+		func() { set.ForTypePartition(0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"pbg/internal/graph"
+	"pbg/internal/rng"
+)
+
+// Property: shard disk round trips are lossless for arbitrary shapes and
+// contents.
+func TestShardRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(seed uint64, countRaw, dimRaw uint8) bool {
+		i++
+		count := int(countRaw)%50 + 1
+		dim := int(dimRaw)%32 + 1
+		sh := NewShard(int(seed%7), int(seed%3), count, dim)
+		r := rng.New(seed)
+		for k := range sh.Embs {
+			sh.Embs[k] = r.NormFloat32()
+		}
+		for k := range sh.Acc {
+			sh.Acc[k] = r.Float32() * 100
+		}
+		path := filepath.Join(dir, "p", "..", "shard.bin")
+		if err := WriteShard(path, sh); err != nil {
+			return false
+		}
+		got, err := ReadShard(path)
+		if err != nil {
+			return false
+		}
+		if got.Count != count || got.Dim != dim {
+			return false
+		}
+		for k := range sh.Embs {
+			if got.Embs[k] != sh.Embs[k] {
+				return false
+			}
+		}
+		for k := range sh.Acc {
+			if got.Acc[k] != sh.Acc[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: edge files round trip losslessly.
+func TestEdgesRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw) % 200
+		r := rng.New(seed)
+		el := &graph.EdgeList{}
+		for i := 0; i < n; i++ {
+			el.Append(int32(r.Intn(1000)), int32(r.Intn(5)), int32(r.Intn(1000)))
+		}
+		path := filepath.Join(dir, "edges.bin")
+		if err := WriteEdges(path, el); err != nil {
+			return false
+		}
+		got, err := ReadEdges(path)
+		if err != nil {
+			return false
+		}
+		if got.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			s1, r1, d1 := el.Edge(i)
+			s2, r2, d2 := got.Edge(i)
+			if s1 != s2 || r1 != r2 || d1 != d2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,457 @@
+// Package storage implements the embedding persistence layer of §4.1: each
+// (entity type, partition) pair owns a shard holding its embedding rows plus
+// the row-wise Adagrad accumulators, and shards are swapped between memory
+// and disk as training iterates over edge buckets, so at most the two
+// partitions of the current bucket (plus unpartitioned types) are resident.
+//
+// The on-disk format is a small header followed by raw little-endian
+// float32s; shards are also gob-serialisable for the distributed partition
+// server.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pbg/internal/graph"
+	"pbg/internal/rng"
+)
+
+// Shard holds the parameters of one partition of one entity type.
+type Shard struct {
+	TypeIndex int // entity type index within the schema
+	Part      int
+	Count     int // number of entity rows
+	Dim       int
+	Embs      []float32 // Count×Dim embeddings, row major
+	Acc       []float32 // Count row-wise Adagrad accumulators
+}
+
+// NewShard allocates a zeroed shard.
+func NewShard(typeIndex, part, count, dim int) *Shard {
+	return &Shard{
+		TypeIndex: typeIndex,
+		Part:      part,
+		Count:     count,
+		Dim:       dim,
+		Embs:      make([]float32, count*dim),
+		Acc:       make([]float32, count),
+	}
+}
+
+// Init fills the shard with N(0, scale²/√d) entries, the initialisation PBG
+// uses so early scores are O(scale).
+func (s *Shard) Init(r *rng.RNG, scale float32) {
+	std := scale / sqrt32(float32(s.Dim))
+	for i := range s.Embs {
+		s.Embs[i] = r.NormFloat32() * std
+	}
+	for i := range s.Acc {
+		s.Acc[i] = 0
+	}
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations are plenty for an init constant.
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// Row returns embedding row i as a slice view.
+func (s *Shard) Row(i int) []float32 {
+	return s.Embs[i*s.Dim : (i+1)*s.Dim]
+}
+
+// Bytes returns the approximate in-memory size of the shard.
+func (s *Shard) Bytes() int64 {
+	return int64(len(s.Embs)+len(s.Acc)) * 4
+}
+
+const shardMagic = uint32(0x50424753) // "PBGS"
+
+// WriteShard persists a shard to path atomically (write temp + rename).
+func WriteShard(path string, s *Shard) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: create shard: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	hdr := []uint32{shardMagic, 1, uint32(s.TypeIndex), uint32(s.Part), uint32(s.Count), uint32(s.Dim)}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := writeFloats(w, s.Embs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := writeFloats(w, s.Acc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadShard loads a shard previously written with WriteShard.
+func ReadShard(path string) (*Shard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var hdr [6]uint32
+	for i := range hdr {
+		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("storage: shard header: %w", err)
+		}
+	}
+	if hdr[0] != shardMagic {
+		return nil, fmt.Errorf("storage: %s is not a shard file", path)
+	}
+	if hdr[1] != 1 {
+		return nil, fmt.Errorf("storage: unsupported shard version %d", hdr[1])
+	}
+	s := NewShard(int(hdr[2]), int(hdr[3]), int(hdr[4]), int(hdr[5]))
+	if err := readFloats(r, s.Embs); err != nil {
+		return nil, err
+	}
+	if err := readFloats(r, s.Acc); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func writeFloats(w *bufio.Writer, xs []float32) error {
+	return binary.Write(w, binary.LittleEndian, xs)
+}
+
+func readFloats(r *bufio.Reader, xs []float32) error {
+	return binary.Read(r, binary.LittleEndian, xs)
+}
+
+// Store provides shards keyed by (entity type, partition), abstracting over
+// whether evicted shards go to disk (DiskStore, the §4.1 swapping scheme) or
+// stay resident (MemStore, used for unpartitioned training and as the
+// backing of the distributed partition server).
+type Store interface {
+	// Acquire returns the shard, loading or lazily initialising it. Repeated
+	// Acquires return the same shard and increase a refcount.
+	Acquire(typeIndex, part int) (*Shard, error)
+	// Release drops one reference; when it reaches zero a DiskStore persists
+	// and evicts the shard.
+	Release(typeIndex, part int) error
+	// Flush persists all resident shards without evicting (checkpointing).
+	Flush() error
+	// ResidentBytes reports the memory held by resident shards.
+	ResidentBytes() int64
+}
+
+type shardKey struct{ t, p int }
+
+type entry struct {
+	shard *Shard
+	refs  int
+}
+
+// common implements the cache bookkeeping shared by both stores.
+type common struct {
+	mu     sync.Mutex
+	cache  map[shardKey]*entry
+	schema *graph.Schema
+	dim    int
+	seed   uint64
+	scale  float32
+}
+
+func (c *common) newShard(t, p int) *Shard {
+	e := c.schema.Entities[t]
+	sh := NewShard(t, p, e.PartitionCount(p), c.dim)
+	// Seed per shard so initialisation is deterministic regardless of the
+	// order in which shards are first touched.
+	sh.Init(rng.New(c.seed^uint64(t)<<32^uint64(p)+0x9E3779B97F4A7C15), c.scale)
+	return sh
+}
+
+func (c *common) residentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, e := range c.cache {
+		total += e.shard.Bytes()
+	}
+	return total
+}
+
+// MemStore keeps every shard resident forever.
+type MemStore struct {
+	common
+}
+
+// NewMemStore creates an in-memory store with deterministic initialisation.
+func NewMemStore(schema *graph.Schema, dim int, seed uint64, initScale float32) *MemStore {
+	return &MemStore{common{cache: make(map[shardKey]*entry), schema: schema, dim: dim, seed: seed, scale: initScale}}
+}
+
+// Acquire implements Store.
+func (m *MemStore) Acquire(t, p int) (*Shard, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := shardKey{t, p}
+	e, ok := m.cache[k]
+	if !ok {
+		e = &entry{shard: m.newShard(t, p)}
+		m.cache[k] = e
+	}
+	e.refs++
+	return e.shard, nil
+}
+
+// Release implements Store; shards stay resident.
+func (m *MemStore) Release(t, p int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.cache[shardKey{t, p}]
+	if !ok || e.refs <= 0 {
+		return fmt.Errorf("storage: Release of unacquired shard (%d,%d)", t, p)
+	}
+	e.refs--
+	return nil
+}
+
+// Flush implements Store (no-op: nothing to persist).
+func (m *MemStore) Flush() error { return nil }
+
+// ResidentBytes implements Store.
+func (m *MemStore) ResidentBytes() int64 { return m.residentBytes() }
+
+// DiskStore persists shards under Dir and keeps only referenced shards in
+// memory — the partition-swapping mode that gives the 88% memory reduction
+// of §5.4.2.
+type DiskStore struct {
+	common
+	dir string
+}
+
+// NewDiskStore creates a disk-backed store rooted at dir.
+func NewDiskStore(dir string, schema *graph.Schema, dim int, seed uint64, initScale float32) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskStore{
+		common: common{cache: make(map[shardKey]*entry), schema: schema, dim: dim, seed: seed, scale: initScale},
+		dir:    dir,
+	}, nil
+}
+
+func (d *DiskStore) path(t, p int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("shard_t%d_p%d.pbg", t, p))
+}
+
+// Acquire implements Store, loading from disk when evicted earlier.
+func (d *DiskStore) Acquire(t, p int) (*Shard, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := shardKey{t, p}
+	if e, ok := d.cache[k]; ok {
+		e.refs++
+		return e.shard, nil
+	}
+	var sh *Shard
+	if _, err := os.Stat(d.path(t, p)); err == nil {
+		sh, err = ReadShard(d.path(t, p))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		sh = d.newShard(t, p)
+	}
+	d.cache[k] = &entry{shard: sh, refs: 1}
+	return sh, nil
+}
+
+// Release implements Store: the last reference persists and evicts.
+func (d *DiskStore) Release(t, p int) error {
+	d.mu.Lock()
+	k := shardKey{t, p}
+	e, ok := d.cache[k]
+	if !ok || e.refs <= 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: Release of unacquired shard (%d,%d)", t, p)
+	}
+	e.refs--
+	if e.refs > 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	delete(d.cache, k)
+	d.mu.Unlock()
+	// Write outside the lock: shard is no longer visible to other callers.
+	return WriteShard(d.path(t, p), e.shard)
+}
+
+// Flush implements Store: persist all resident shards, keeping them cached.
+func (d *DiskStore) Flush() error {
+	d.mu.Lock()
+	shards := make([]*Shard, 0, len(d.cache))
+	for _, e := range d.cache {
+		shards = append(shards, e.shard)
+	}
+	d.mu.Unlock()
+	for _, sh := range shards {
+		if err := WriteShard(d.path(sh.TypeIndex, sh.Part), sh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResidentBytes implements Store.
+func (d *DiskStore) ResidentBytes() int64 { return d.residentBytes() }
+
+// WriteEdges persists an edge list in a compact binary format (bucket files
+// on the shared filesystem in Figure 2's architecture).
+func WriteEdges(path string, el *graph.EdgeList) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := binary.Write(w, binary.LittleEndian, uint64(el.Len())); err != nil {
+		f.Close()
+		return err
+	}
+	for _, col := range [][]int32{el.Srcs, el.Rels, el.Dsts} {
+		if err := binary.Write(w, binary.LittleEndian, col); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadEdges loads an edge list written by WriteEdges.
+func ReadEdges(path string) (*graph.EdgeList, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	el := &graph.EdgeList{
+		Srcs: make([]int32, n),
+		Rels: make([]int32, n),
+		Dsts: make([]int32, n),
+	}
+	for _, col := range [][]int32{el.Srcs, el.Rels, el.Dsts} {
+		if err := binary.Read(r, binary.LittleEndian, col); err != nil {
+			return nil, err
+		}
+	}
+	return el, nil
+}
+
+// RelationState is the shared-parameter block persisted with checkpoints:
+// per-relation operator parameters plus their dense Adagrad accumulators.
+type RelationState struct {
+	Params [][]float32
+	Acc    [][]float32
+}
+
+// WriteRelations persists relation parameters.
+func WriteRelations(path string, rs *RelationState) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(rs.Params))); err != nil {
+		f.Close()
+		return err
+	}
+	for i := range rs.Params {
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(rs.Params[i]))); err != nil {
+			f.Close()
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, rs.Params[i]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, rs.Acc[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadRelations loads relation parameters written by WriteRelations.
+func ReadRelations(path string) (*RelationState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	rs := &RelationState{Params: make([][]float32, n), Acc: make([][]float32, n)}
+	for i := range rs.Params {
+		var m uint64
+		if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+			return nil, err
+		}
+		rs.Params[i] = make([]float32, m)
+		rs.Acc[i] = make([]float32, m)
+		if err := binary.Read(r, binary.LittleEndian, rs.Params[i]); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, rs.Acc[i]); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}

@@ -1,0 +1,281 @@
+package storage
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pbg/internal/graph"
+	"pbg/internal/rng"
+)
+
+func testSchema(t *testing.T) *graph.Schema {
+	t.Helper()
+	return graph.MustSchema(
+		[]graph.EntityType{
+			{Name: "node", Count: 20, NumPartitions: 4},
+			{Name: "tag", Count: 6, NumPartitions: 1},
+		},
+		[]graph.RelationType{{Name: "r", SourceType: "node", DestType: "tag", Operator: "identity"}},
+	)
+}
+
+func TestShardInitStatistics(t *testing.T) {
+	sh := NewShard(0, 0, 1000, 16)
+	sh.Init(rng.New(1), 1.0)
+	var sum, sumsq float64
+	for _, v := range sh.Embs {
+		sum += float64(v)
+		sumsq += float64(v) * float64(v)
+	}
+	n := float64(len(sh.Embs))
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("init mean %v", mean)
+	}
+	want := 1.0 / 4.0 // scale/√dim = 1/√16
+	if math.Abs(std-want) > 0.02 {
+		t.Fatalf("init std %v, want %v", std, want)
+	}
+}
+
+func TestShardInitDeterministic(t *testing.T) {
+	a := NewShard(0, 0, 10, 4)
+	b := NewShard(0, 0, 10, 4)
+	a.Init(rng.New(5), 1)
+	b.Init(rng.New(5), 1)
+	for i := range a.Embs {
+		if a.Embs[i] != b.Embs[i] {
+			t.Fatal("same seed must give same init")
+		}
+	}
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sh := NewShard(1, 2, 7, 5)
+	sh.Init(rng.New(3), 1)
+	sh.Acc[3] = 42.5
+	path := filepath.Join(dir, "s.pbg")
+	if err := WriteShard(path, sh); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TypeIndex != 1 || got.Part != 2 || got.Count != 7 || got.Dim != 5 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range sh.Embs {
+		if got.Embs[i] != sh.Embs[i] {
+			t.Fatalf("emb[%d] %v != %v", i, got.Embs[i], sh.Embs[i])
+		}
+	}
+	if got.Acc[3] != 42.5 {
+		t.Fatalf("acc not preserved: %v", got.Acc[3])
+	}
+}
+
+func TestReadShardRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.pbg")
+	if err := os.WriteFile(path, []byte("not a shard at all, sorry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShard(path); err == nil {
+		t.Fatal("expected error for garbage file")
+	}
+}
+
+func TestMemStoreAcquireIdentity(t *testing.T) {
+	st := NewMemStore(testSchema(t), 8, 1, 1)
+	a, err := st.Acquire(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.Acquire(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("repeated Acquire must return the same shard")
+	}
+	if a.Count != 5 { // 20 entities / 4 partitions
+		t.Fatalf("shard count %d, want 5", a.Count)
+	}
+	if err := st.Release(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Release(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Release(0, 1); err == nil {
+		t.Fatal("over-release not detected")
+	}
+}
+
+func TestMemStoreShardsPersistAcrossReleases(t *testing.T) {
+	st := NewMemStore(testSchema(t), 8, 1, 1)
+	a, _ := st.Acquire(0, 0)
+	a.Row(0)[0] = 123
+	st.Release(0, 0)
+	b, _ := st.Acquire(0, 0)
+	if b.Row(0)[0] != 123 {
+		t.Fatal("MemStore dropped shard state")
+	}
+}
+
+func TestDiskStoreSwapsToDisk(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDiskStore(dir, testSchema(t), 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := st.Acquire(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Row(1)[3] = 7.5
+	sh.Acc[1] = 2.0
+	if err := st.Release(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Evicted: resident bytes drop to zero and the file exists.
+	if st.ResidentBytes() != 0 {
+		t.Fatalf("resident bytes %d after eviction", st.ResidentBytes())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard_t0_p2.pbg")); err != nil {
+		t.Fatalf("shard file missing: %v", err)
+	}
+	// Re-acquire restores the mutated state.
+	sh2, err := st.Acquire(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh2.Row(1)[3] != 7.5 || sh2.Acc[1] != 2.0 {
+		t.Fatal("state lost through disk round trip")
+	}
+}
+
+func TestDiskStoreRefCounting(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewDiskStore(dir, testSchema(t), 8, 1, 1)
+	a, _ := st.Acquire(0, 0)
+	b, _ := st.Acquire(0, 0)
+	if a != b {
+		t.Fatal("double acquire returned different shards")
+	}
+	st.Release(0, 0)
+	// Still referenced: must stay resident.
+	if st.ResidentBytes() == 0 {
+		t.Fatal("shard evicted while still referenced")
+	}
+	st.Release(0, 0)
+	if st.ResidentBytes() != 0 {
+		t.Fatal("shard not evicted at refcount zero")
+	}
+}
+
+func TestDiskStoreDeterministicInitAcrossStores(t *testing.T) {
+	dir1 := t.TempDir()
+	dir2 := t.TempDir()
+	s1, _ := NewDiskStore(dir1, testSchema(t), 8, 42, 1)
+	s2, _ := NewDiskStore(dir2, testSchema(t), 8, 42, 1)
+	a, _ := s1.Acquire(0, 3)
+	b, _ := s2.Acquire(0, 3)
+	for i := range a.Embs {
+		if a.Embs[i] != b.Embs[i] {
+			t.Fatal("same seed must init shards identically across stores")
+		}
+	}
+	// Different partitions must differ.
+	c, _ := s1.Acquire(0, 1)
+	same := true
+	for i := range c.Embs {
+		if c.Embs[i] != a.Embs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different partitions initialised identically")
+	}
+}
+
+func TestDiskStoreFlushKeepsResident(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := NewDiskStore(dir, testSchema(t), 8, 1, 1)
+	sh, _ := st.Acquire(1, 0)
+	sh.Row(0)[0] = 5
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st.ResidentBytes() == 0 {
+		t.Fatal("Flush must not evict")
+	}
+	got, err := ReadShard(filepath.Join(dir, "shard_t1_p0.pbg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Row(0)[0] != 5 {
+		t.Fatal("Flush did not persist state")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	el := &graph.EdgeList{}
+	for i := int32(0); i < 100; i++ {
+		el.Append(i, i%3, i*7%19)
+	}
+	path := filepath.Join(dir, "edges.bin")
+	if err := WriteEdges(path, el); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdges(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != el.Len() {
+		t.Fatalf("len %d != %d", got.Len(), el.Len())
+	}
+	for i := 0; i < el.Len(); i++ {
+		s1, r1, d1 := el.Edge(i)
+		s2, r2, d2 := got.Edge(i)
+		if s1 != s2 || r1 != r2 || d1 != d2 {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestRelationsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rs := &RelationState{
+		Params: [][]float32{{1, 2, 3}, {4}},
+		Acc:    [][]float32{{0.1, 0.2, 0.3}, {0.4}},
+	}
+	path := filepath.Join(dir, "rel.bin")
+	if err := WriteRelations(path, rs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRelations(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Params) != 2 || len(got.Params[0]) != 3 || len(got.Params[1]) != 1 {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	if got.Params[0][1] != 2 || got.Acc[1][0] != 0.4 {
+		t.Fatal("values lost")
+	}
+}
+
+func TestShardBytes(t *testing.T) {
+	sh := NewShard(0, 0, 10, 4)
+	if sh.Bytes() != (40+10)*4 {
+		t.Fatalf("Bytes = %d", sh.Bytes())
+	}
+}

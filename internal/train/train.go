@@ -1,0 +1,568 @@
+// Package train implements PBG's single-machine training loop (§4): each
+// epoch iterates over edge buckets in a configurable order (inside-out by
+// default), swaps the two partitions of the current bucket in from the
+// store, shuffles the bucket's edges, and trains them on a pool of HOGWILD
+// workers with no synchronisation on the embedding rows (Recht et al. 2011),
+// using the batched negative sampling of §4.3.
+package train
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pbg/internal/graph"
+	"pbg/internal/model"
+	"pbg/internal/optim"
+	"pbg/internal/partition"
+	"pbg/internal/rng"
+	"pbg/internal/sampling"
+	"pbg/internal/storage"
+	"pbg/internal/vec"
+)
+
+// Config collects every training hyperparameter. Zero values select the
+// paper's defaults where one exists.
+type Config struct {
+	// Dim is the embedding dimension d.
+	Dim int
+	// Comparator: "dot", "cos", "l2", "squared_l2". Default "dot".
+	Comparator string
+	// Loss: "ranking", "logistic", "softmax". Default "ranking".
+	Loss string
+	// Margin λ for the ranking loss. Default 0.1.
+	Margin float32
+	// LR is the Adagrad learning rate for embeddings. Default 0.1.
+	LR float32
+	// RelationLR for operator parameters; defaults to LR.
+	RelationLR float32
+	// NegAlpha is the data-prevalence fraction α of §3.1. Default 0.5.
+	NegAlpha float32
+	// BatchSize B. Default 1000.
+	BatchSize int
+	// ChunkSize C: positives per chunk sharing negatives. Default 50.
+	// ChunkSize 1 reproduces unbatched negative sampling (Figure 4).
+	ChunkSize int
+	// UniformNegs U: uniformly sampled candidates per side per chunk.
+	// Default 50. Per-positive negatives ≈ 2·(C+U).
+	UniformNegs int
+	// Epochs to run when calling Train. Default 5.
+	Epochs int
+	// Workers is the number of HOGWILD goroutines. Default 1.
+	Workers int
+	// Hogwild true (default via HogwildOff=false) trains lock-free as in the
+	// paper; setting HogwildOff uses striped row locks instead, which keeps
+	// the race detector quiet at some throughput cost.
+	HogwildOff bool
+	// Reciprocal enables separate reverse relation parameters (the
+	// 'reciprocal predicates' used for FB15k ComplEx, §5.4.1).
+	Reciprocal bool
+	// BucketOrder: "inside_out" (default), "sequential", "random", "chained".
+	BucketOrder string
+	// StratumParts N > 1 splits each bucket's edges into N parts and sweeps
+	// the buckets N times per epoch ('stratum losses', Gemulla et al. 2011;
+	// §4.1 footnote 3).
+	StratumParts int
+	// InitScale scales embedding initialisation. Default 1.
+	InitScale float32
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Comparator == "" {
+		c.Comparator = "dot"
+	}
+	if c.Loss == "" {
+		c.Loss = "ranking"
+	}
+	if c.Margin == 0 {
+		c.Margin = 0.1
+	}
+	if c.LR == 0 {
+		c.LR = 0.1
+	}
+	if c.RelationLR == 0 {
+		c.RelationLR = c.LR
+	}
+	if c.NegAlpha == 0 {
+		c.NegAlpha = 0.5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1000
+	}
+	if c.ChunkSize == 0 {
+		c.ChunkSize = 50
+	}
+	if c.UniformNegs == 0 {
+		c.UniformNegs = 50
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.BucketOrder == "" {
+		c.BucketOrder = partition.OrderInsideOut
+	}
+	if c.StratumParts == 0 {
+		c.StratumParts = 1
+	}
+	if c.InitScale == 0 {
+		c.InitScale = 1
+	}
+	return c
+}
+
+// EpochStats summarises one epoch.
+type EpochStats struct {
+	Epoch         int
+	Loss          float64
+	Edges         int
+	Duration      time.Duration
+	PartitionIO   int // partition loads (swap-ins) this epoch
+	PeakResident  int64
+	BucketsActive int
+}
+
+// Trainer owns the training state for one graph.
+type Trainer struct {
+	cfg     Config
+	g       *graph.Graph
+	store   storage.Store
+	scorers []*model.Scorer // per relation
+	// relParams[r] is the full parameter block (fwd|rev) for relation r.
+	relParams [][]float32
+	relOptFwd []*optim.DenseAdagrad
+	relOptRev []*optim.DenseAdagrad
+	relMu     []sync.Mutex
+	samplers  *sampling.Set
+	rowOpt    optim.RowAdagrad
+
+	buckets []partition.Bucket
+	ranges  []graph.BucketRange
+	nSrc    int
+	nDst    int
+	edges   *graph.EdgeList // bucket-sorted copy of the training edges
+
+	// Striped row locks for the non-HOGWILD mode.
+	stripes []sync.Mutex
+
+	root *rng.RNG
+
+	epochsRun int
+	peakBytes int64
+}
+
+// New prepares a trainer over the given training graph and store. The store
+// decides the memory regime: MemStore keeps everything resident, DiskStore
+// swaps partitions per §4.1.
+func New(g *graph.Graph, store storage.Store, cfg Config) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dim <= 0 {
+		return nil, fmt.Errorf("train: Dim must be positive")
+	}
+	t := &Trainer{cfg: cfg, g: g, store: store, root: rng.New(cfg.Seed)}
+
+	// Per-relation scorers (relations may use different operators).
+	t.scorers = make([]*model.Scorer, len(g.Schema.Relations))
+	t.relParams = make([][]float32, len(g.Schema.Relations))
+	t.relOptFwd = make([]*optim.DenseAdagrad, len(g.Schema.Relations))
+	t.relOptRev = make([]*optim.DenseAdagrad, len(g.Schema.Relations))
+	t.relMu = make([]sync.Mutex, len(g.Schema.Relations))
+	for r, rel := range g.Schema.Relations {
+		sc, err := model.NewScorer(cfg.Dim, rel.Operator, cfg.Comparator, cfg.Loss, cfg.Margin, cfg.Reciprocal)
+		if err != nil {
+			return nil, fmt.Errorf("train: relation %q: %w", rel.Name, err)
+		}
+		t.scorers[r] = sc
+		t.relParams[r] = make([]float32, sc.RelParamCount())
+		sc.InitRelParams(t.relParams[r])
+		half := sc.Op.ParamCount(cfg.Dim)
+		t.relOptFwd[r] = optim.NewDenseAdagrad(cfg.RelationLR, half)
+		if cfg.Reciprocal {
+			t.relOptRev[r] = optim.NewDenseAdagrad(cfg.RelationLR, half)
+		}
+	}
+
+	degrees := graph.ComputeDegrees(g)
+	t.samplers = sampling.NewSet(g.Schema, degrees, cfg.NegAlpha)
+	t.rowOpt = optim.NewRowAdagrad(cfg.LR)
+
+	// Bucket-sort a copy of the edges.
+	t.nSrc, t.nDst = bucketDims(g.Schema)
+	t.edges = g.Edges.Clone()
+	t.ranges = graph.SortByBucket(g.Schema, t.edges, t.nSrc, t.nDst)
+	order, err := partition.Order(cfg.BucketOrder, t.nSrc, t.nDst, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t.buckets = order
+
+	t.stripes = make([]sync.Mutex, 1024)
+	return t, nil
+}
+
+// bucketDims returns the bucket grid dimensions implied by the schema.
+func bucketDims(s *graph.Schema) (nSrc, nDst int) {
+	nSrc, nDst = 1, 1
+	for _, r := range s.Relations {
+		if p := s.Entity(r.SourceType).NumPartitions; p > nSrc {
+			nSrc = p
+		}
+		if p := s.Entity(r.DestType).NumPartitions; p > nDst {
+			nDst = p
+		}
+	}
+	return nSrc, nDst
+}
+
+// Buckets exposes the training bucket order (for tests and the distributed
+// lock server).
+func (t *Trainer) Buckets() []partition.Bucket { return t.buckets }
+
+// Schema returns the graph schema the trainer was built from.
+func (t *Trainer) Schema() *graph.Schema { return t.g.Schema }
+
+// PeakResidentBytes reports the largest model footprint held in memory so
+// far (sampled while bucket shards are resident).
+func (t *Trainer) PeakResidentBytes() int64 { return t.peakBytes }
+
+// TrainBucket trains all edges of one bucket (one lock-server lease in
+// distributed mode). Empty buckets return immediately.
+func (t *Trainer) TrainBucket(b partition.Bucket) (loss float64, edges int, err error) {
+	rg := t.ranges[b.Index(t.nDst)]
+	if rg.Empty() {
+		return 0, 0, nil
+	}
+	return t.trainBucket(b, rg.Lo, rg.Hi)
+}
+
+// BucketEdgeCount returns the number of training edges in bucket b.
+func (t *Trainer) BucketEdgeCount(b partition.Bucket) int {
+	return t.ranges[b.Index(t.nDst)].Len()
+}
+
+// BucketDims returns the (source, destination) partition grid size.
+func (t *Trainer) BucketDims() (nSrc, nDst int) { return t.nSrc, t.nDst }
+
+// WithRelParams runs f with relation r's parameter block while holding its
+// update lock; used by the distributed parameter-sync thread to snapshot and
+// overwrite parameters without racing the HOGWILD workers.
+func (t *Trainer) WithRelParams(r int, f func(params []float32)) {
+	t.relMu[r].Lock()
+	defer t.relMu[r].Unlock()
+	f(t.relParams[r])
+}
+
+// RelParams returns the live parameter block of relation r.
+func (t *Trainer) RelParams(r int) []float32 { return t.relParams[r] }
+
+// SetRelParams overwrites relation r's parameters (distributed sync).
+func (t *Trainer) SetRelParams(r int, p []float32) { copy(t.relParams[r], p) }
+
+// Scorer returns the scorer used for relation r.
+func (t *Trainer) Scorer(r int) *model.Scorer { return t.scorers[r] }
+
+// Store returns the backing embedding store.
+func (t *Trainer) Store() storage.Store { return t.store }
+
+// Config returns the effective (defaulted) configuration.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// Train runs cfg.Epochs epochs and returns per-epoch stats. onEpoch, if
+// non-nil, runs after each epoch (learning-curve recording).
+func (t *Trainer) Train(onEpoch func(EpochStats)) ([]EpochStats, error) {
+	var out []EpochStats
+	for e := 0; e < t.cfg.Epochs; e++ {
+		st, err := t.TrainEpoch()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+		if onEpoch != nil {
+			onEpoch(st)
+		}
+	}
+	return out, nil
+}
+
+// TrainEpoch runs one pass over all buckets.
+func (t *Trainer) TrainEpoch() (EpochStats, error) {
+	start := time.Now()
+	stats := EpochStats{Epoch: t.epochsRun}
+	held := map[int]bool{}
+	for stratum := 0; stratum < t.cfg.StratumParts; stratum++ {
+		for _, b := range t.buckets {
+			rg := t.ranges[b.Index(t.nDst)]
+			if rg.Empty() {
+				continue
+			}
+			lo, hi := stratumSlice(rg, stratum, t.cfg.StratumParts)
+			if hi <= lo {
+				continue
+			}
+			// Count swap-ins the way SwapCount does: partitions not
+			// currently held must be loaded.
+			need := map[int]bool{}
+			for _, p := range b.Parts() {
+				need[p] = true
+				if !held[p] {
+					stats.PartitionIO++
+				}
+			}
+			held = need
+			loss, edges, err := t.trainBucket(b, lo, hi)
+			if err != nil {
+				return stats, err
+			}
+			stats.Loss += loss
+			stats.Edges += edges
+			stats.BucketsActive++
+		}
+	}
+	t.epochsRun++
+	stats.Duration = time.Since(start)
+	stats.PeakResident = t.peakBytes
+	return stats, nil
+}
+
+func stratumSlice(rg graph.BucketRange, k, n int) (lo, hi int) {
+	size := rg.Len()
+	lo = rg.Lo + k*size/n
+	hi = rg.Lo + (k+1)*size/n
+	return lo, hi
+}
+
+// shardRef resolves entity ids of one (type, partition) to rows of an
+// acquired shard.
+type shardRef struct {
+	shard *storage.Shard
+	ent   graph.EntityType
+}
+
+func (s shardRef) row(id int32) []float32 { return s.shard.Row(s.ent.LocalOffset(id)) }
+func (s shardRef) acc(id int32) *float32  { return &s.shard.Acc[s.ent.LocalOffset(id)] }
+
+type shardKey struct{ t, p int }
+
+// acquireBucketShards loads every (entity type, partition) combination the
+// bucket's relations can touch.
+func (t *Trainer) acquireBucketShards(b partition.Bucket) (map[shardKey]shardRef, error) {
+	out := map[shardKey]shardRef{}
+	acquire := func(typeName string, part int) error {
+		ti := t.g.Schema.EntityTypeIndex(typeName)
+		ent := t.g.Schema.Entities[ti]
+		if !ent.Partitioned() {
+			part = 0
+		}
+		k := shardKey{ti, part}
+		if _, ok := out[k]; ok {
+			return nil
+		}
+		sh, err := t.store.Acquire(ti, part)
+		if err != nil {
+			return err
+		}
+		out[k] = shardRef{shard: sh, ent: ent}
+		return nil
+	}
+	for _, rel := range t.g.Schema.Relations {
+		if err := acquire(rel.SourceType, b.P1); err != nil {
+			return nil, err
+		}
+		if err := acquire(rel.DestType, b.P2); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (t *Trainer) releaseBucketShards(m map[shardKey]shardRef) error {
+	var first error
+	for k := range m {
+		if err := t.store.Release(k.t, k.p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// trainBucket trains edges [lo, hi) of the bucket-sorted edge list, which
+// all belong to bucket b.
+func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (float64, int, error) {
+	shards, err := t.acquireBucketShards(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer t.releaseBucketShards(shards)
+	// Sample peak model memory while the bucket's shards are resident (the
+	// Tables 3–4 memory column).
+	if rb := t.store.ResidentBytes(); rb > t.peakBytes {
+		t.peakBytes = rb
+	}
+
+	n := hi - lo
+	perm := make([]int, n)
+	t.root.Perm(perm)
+
+	workers := t.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	losses := make([]float64, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, r *rng.RNG) {
+			defer wg.Done()
+			wlo := w * n / workers
+			whi := (w + 1) * n / workers
+			losses[w], errs[w] = t.workerLoop(b, shards, perm[wlo:whi], lo, r)
+		}(w, t.root.Split())
+	}
+	wg.Wait()
+	var loss float64
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return 0, 0, errs[w]
+		}
+		loss += losses[w]
+	}
+	return loss, n, nil
+}
+
+// workerLoop is one HOGWILD worker: it groups its edge indices by relation
+// (batches share a relation, §4.3 last paragraph) and processes chunks.
+func (t *Trainer) workerLoop(b partition.Bucket, shards map[shardKey]shardRef, idx []int, base int, r *rng.RNG) (float64, error) {
+	c := t.cfg.ChunkSize
+	u := t.cfg.UniformNegs
+	d := t.cfg.Dim
+
+	byRel := map[int32][]int{}
+	for _, i := range idx {
+		rel := t.edges.Rels[base+i]
+		byRel[rel] = append(byRel[rel], base+i)
+	}
+
+	in := &model.ChunkInput{}
+	inBuf := model.ChunkInput{
+		SrcIDs: make([]int32, c), DstIDs: make([]int32, c),
+		USrcIDs: make([]int32, u), UDstIDs: make([]int32, u),
+	}
+	srcBuf := make([]float32, c*d)
+	dstBuf := make([]float32, c*d)
+	usrcBuf := make([]float32, u*d)
+	udstBuf := make([]float32, u*d)
+
+	var total float64
+	var ws *model.Workspace
+	for rel, list := range byRel {
+		sc := t.scorers[rel]
+		if ws == nil {
+			// Workspace shape depends only on (chunk, negatives, dim), so it
+			// is shared across relations; gradient buffers are per relation
+			// because operator parameter counts differ.
+			ws = sc.NewWorkspace(c, u)
+		}
+		grad := sc.NewChunkGrad(c, u)
+		relCfg := t.g.Schema.Relations[rel]
+		srcType := t.g.Schema.EntityTypeIndex(relCfg.SourceType)
+		dstType := t.g.Schema.EntityTypeIndex(relCfg.DestType)
+		srcRef := t.lookupRef(shards, srcType, b.P1)
+		dstRef := t.lookupRef(shards, dstType, b.P2)
+		srcSmp := t.samplers.ForRelationSource(rel, b.P1)
+		dstSmp := t.samplers.ForRelationDest(rel, b.P2)
+		fwd, rev := sc.SplitRelParams(t.relParams[rel])
+
+		for chunkLo := 0; chunkLo < len(list); chunkLo += c {
+			chunkHi := chunkLo + c
+			if chunkHi > len(list) {
+				chunkHi = len(list)
+			}
+			cc := chunkHi - chunkLo
+			// Gather.
+			in.SrcIDs = inBuf.SrcIDs[:cc]
+			in.DstIDs = inBuf.DstIDs[:cc]
+			in.USrcIDs = inBuf.USrcIDs[:u]
+			in.UDstIDs = inBuf.UDstIDs[:u]
+			for k, ei := range list[chunkLo:chunkHi] {
+				in.SrcIDs[k] = t.edges.Srcs[ei]
+				in.DstIDs[k] = t.edges.Dsts[ei]
+			}
+			sampling.SampleMany(srcSmp, r, in.USrcIDs)
+			sampling.SampleMany(dstSmp, r, in.UDstIDs)
+			in.Src = gather(srcBuf, srcRef, in.SrcIDs, d)
+			in.Dst = gather(dstBuf, dstRef, in.DstIDs, d)
+			in.USrc = gather(usrcBuf, srcRef, in.USrcIDs, d)
+			in.UDst = gather(udstBuf, dstRef, in.UDstIDs, d)
+			in.RelWeight = relCfg.EffectiveWeight()
+			in.RelFwd = fwd
+			in.RelRev = rev
+
+			sc.ScoreChunk(ws, in, grad)
+			total += grad.Loss
+
+			// Scatter updates.
+			t.applyRows(srcRef, in.SrcIDs, grad.Src.Data, d)
+			t.applyRows(dstRef, in.DstIDs, grad.Dst.Data, d)
+			t.applyRows(srcRef, in.USrcIDs, grad.USrc.Data, d)
+			t.applyRows(dstRef, in.UDstIDs, grad.UDst.Data, d)
+			if len(grad.RelFwd) > 0 {
+				t.relMu[rel].Lock()
+				t.relOptFwd[rel].Update(fwd, grad.RelFwd)
+				if rev != nil {
+					t.relOptRev[rel].Update(rev, grad.RelRev)
+				}
+				t.relMu[rel].Unlock()
+			}
+		}
+	}
+	return total, nil
+}
+
+func (t *Trainer) lookupRef(shards map[shardKey]shardRef, typeIdx, part int) shardRef {
+	if !t.g.Schema.Entities[typeIdx].Partitioned() {
+		part = 0
+	}
+	ref, ok := shards[shardKey{typeIdx, part}]
+	if !ok {
+		panic(fmt.Sprintf("train: shard (%d,%d) not acquired", typeIdx, part))
+	}
+	return ref
+}
+
+// gather copies the embedding rows of ids into a matrix backed by buf.
+func gather(buf []float32, ref shardRef, ids []int32, d int) vec.Matrix {
+	m := vec.MatrixFrom(buf[:len(ids)*d], len(ids), d)
+	for k, id := range ids {
+		copy(m.Row(k), ref.row(id))
+	}
+	return m
+}
+
+// applyRows applies per-row Adagrad updates for the gathered gradient block.
+func (t *Trainer) applyRows(ref shardRef, ids []int32, grads []float32, d int) {
+	for k, id := range ids {
+		g := grads[k*d : (k+1)*d]
+		if t.cfg.HogwildOff {
+			mu := &t.stripes[rowStripe(ref.shard.TypeIndex, id)]
+			mu.Lock()
+			t.rowOpt.Update(ref.row(id), g, ref.acc(id))
+			mu.Unlock()
+		} else {
+			// HOGWILD: benign races on float32 rows, as in the paper.
+			t.rowOpt.Update(ref.row(id), g, ref.acc(id))
+		}
+	}
+}
+
+func rowStripe(typeIdx int, id int32) int {
+	h := uint32(typeIdx)*2654435761 + uint32(id)*2246822519
+	return int(h % 1024)
+}

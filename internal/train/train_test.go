@@ -1,0 +1,263 @@
+package train
+
+import (
+	"testing"
+
+	"pbg/internal/datagen"
+	"pbg/internal/graph"
+	"pbg/internal/storage"
+)
+
+func smallSocial(t *testing.T, parts int) *graph.Graph {
+	t.Helper()
+	g, err := datagen.Social(datagen.SocialConfig{
+		Nodes: 400, AvgOutDegree: 8, NumPartitions: parts, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newTrainer(t *testing.T, g *graph.Graph, cfg Config) *Trainer {
+	t.Helper()
+	if cfg.Dim == 0 {
+		cfg.Dim = 16
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 3
+	}
+	store := storage.NewMemStore(g.Schema, cfg.Dim, 7, 1)
+	tr, err := New(g, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTrainLossDecreases(t *testing.T) {
+	g := smallSocial(t, 1)
+	tr := newTrainer(t, g, Config{Epochs: 5, Seed: 3})
+	stats, err := tr.Train(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 5 {
+		t.Fatalf("got %d epochs", len(stats))
+	}
+	first := stats[0].Loss / float64(stats[0].Edges)
+	last := stats[len(stats)-1].Loss / float64(stats[len(stats)-1].Edges)
+	if last >= first*0.9 {
+		t.Fatalf("per-edge loss did not decrease: %v → %v", first, last)
+	}
+	for _, s := range stats {
+		if s.Edges != g.Edges.Len() {
+			t.Fatalf("epoch %d trained %d edges, want %d", s.Epoch, s.Edges, g.Edges.Len())
+		}
+	}
+}
+
+func TestTrainPartitionedMatchesUnpartitionedShape(t *testing.T) {
+	// Partitioned training must also drive the loss down; quality parity is
+	// asserted end-to-end in the eval integration tests.
+	g := smallSocial(t, 4)
+	tr := newTrainer(t, g, Config{Epochs: 4, Seed: 3})
+	stats, err := tr.Train(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := stats[0].Loss / float64(stats[0].Edges)
+	last := stats[len(stats)-1].Loss / float64(stats[len(stats)-1].Edges)
+	if last >= first*0.9 {
+		t.Fatalf("partitioned loss did not decrease: %v → %v", first, last)
+	}
+	// 16 buckets must all have been visited.
+	if stats[0].BucketsActive == 0 {
+		t.Fatal("no buckets trained")
+	}
+	if stats[0].PartitionIO == 0 {
+		t.Fatal("partitioned run reported zero partition loads")
+	}
+}
+
+func TestTrainWithDiskStoreSwapping(t *testing.T) {
+	g := smallSocial(t, 4)
+	dir := t.TempDir()
+	store, err := storage.NewDiskStore(dir, g.Schema, 16, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(g, store, Config{Dim: 16, Epochs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Train(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := stats[len(stats)-1].Loss / float64(stats[len(stats)-1].Edges)
+	first := stats[0].Loss / float64(stats[0].Edges)
+	if last >= first {
+		t.Fatalf("disk-backed loss did not decrease: %v → %v", first, last)
+	}
+	// At any instant at most 2 partitions should have been resident; peak
+	// resident bytes must be well under the full model.
+	full := int64(400 * (16 + 1) * 4)
+	if stats[len(stats)-1].PeakResident >= full {
+		t.Fatalf("peak resident %d not smaller than full model %d", stats[len(stats)-1].PeakResident, full)
+	}
+}
+
+func TestTrainMultiWorkerHogwild(t *testing.T) {
+	g := smallSocial(t, 1)
+	tr := newTrainer(t, g, Config{Epochs: 3, Workers: 4, Seed: 5})
+	stats, err := tr.Train(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := stats[0].Loss / float64(stats[0].Edges)
+	last := stats[len(stats)-1].Loss / float64(stats[len(stats)-1].Edges)
+	if last >= first*0.9 {
+		t.Fatalf("hogwild loss did not decrease: %v → %v", first, last)
+	}
+}
+
+func TestTrainStripedLockMode(t *testing.T) {
+	g := smallSocial(t, 1)
+	tr := newTrainer(t, g, Config{Epochs: 2, Workers: 4, HogwildOff: true, Seed: 5})
+	if _, err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainMultiRelationOperators(t *testing.T) {
+	// A KG where relations use the translation operator.
+	g, err := datagen.Knowledge(datagen.KGConfig{Entities: 300, Relations: 6, Edges: 3000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTrainer(t, g, Config{Epochs: 4, Seed: 7, Loss: "softmax", Comparator: "dot"})
+	stats, err := tr.Train(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := stats[0].Loss / float64(stats[0].Edges)
+	last := stats[len(stats)-1].Loss / float64(stats[len(stats)-1].Edges)
+	if last >= first {
+		t.Fatalf("KG loss did not decrease: %v → %v", first, last)
+	}
+	// Relation parameters must have moved off their identity init.
+	moved := false
+	for r := range g.Schema.Relations {
+		for _, v := range tr.RelParams(r) {
+			if v != 0 {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("relation parameters never updated")
+	}
+}
+
+func TestTrainReciprocal(t *testing.T) {
+	g, err := datagen.Knowledge(datagen.KGConfig{Entities: 200, Relations: 4, Edges: 1500, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTrainer(t, g, Config{Epochs: 2, Seed: 7, Reciprocal: true, Loss: "softmax"})
+	if _, err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Reciprocal blocks are double sized.
+	sc := tr.Scorer(0)
+	if len(tr.RelParams(0)) != sc.RelParamCount() {
+		t.Fatal("param block size mismatch")
+	}
+}
+
+func TestTrainBipartiteTypeConstraints(t *testing.T) {
+	g, err := datagen.Bipartite(datagen.BipartiteConfig{
+		Users: 300, Items: 20, Edges: 2000, UserPartitions: 2, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTrainer(t, g, Config{Epochs: 3, Seed: 7})
+	stats, err := tr.Train(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := stats[0].Loss / float64(stats[0].Edges)
+	last := stats[len(stats)-1].Loss / float64(stats[len(stats)-1].Edges)
+	if last >= first {
+		t.Fatalf("bipartite loss did not decrease: %v → %v", first, last)
+	}
+}
+
+func TestTrainStratumParts(t *testing.T) {
+	g := smallSocial(t, 2)
+	tr := newTrainer(t, g, Config{Epochs: 2, StratumParts: 3, Seed: 5})
+	stats, err := tr.Train(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All edges still trained exactly once per epoch.
+	if stats[0].Edges != g.Edges.Len() {
+		t.Fatalf("stratified epoch trained %d edges, want %d", stats[0].Edges, g.Edges.Len())
+	}
+	// Buckets are visited N times per epoch → more partition IO.
+	if stats[0].PartitionIO <= 4 {
+		t.Fatalf("expected extra IO from stratification, got %d", stats[0].PartitionIO)
+	}
+}
+
+func TestUnbatchedChunkSizeOne(t *testing.T) {
+	g := smallSocial(t, 1)
+	tr := newTrainer(t, g, Config{Epochs: 1, ChunkSize: 1, UniformNegs: 10, Seed: 5})
+	if _, err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewFetchesEmbeddings(t *testing.T) {
+	g := smallSocial(t, 4)
+	tr := newTrainer(t, g, Config{Epochs: 1, Seed: 5})
+	if _, err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	v := tr.NewView()
+	defer v.Close()
+	buf := make([]float32, 16)
+	seen := map[float32]bool{}
+	for id := int32(0); id < 400; id += 37 {
+		if _, err := v.Embedding(0, id, buf); err != nil {
+			t.Fatal(err)
+		}
+		seen[buf[0]] = true
+	}
+	if len(seen) < 5 {
+		t.Fatal("embeddings look degenerate")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	g := smallSocial(t, 1)
+	store := storage.NewMemStore(g.Schema, 8, 1, 1)
+	if _, err := New(g, store, Config{}); err == nil {
+		t.Fatal("expected error for Dim=0")
+	}
+	if _, err := New(g, store, Config{Dim: 8, BucketOrder: "bogus"}); err == nil {
+		t.Fatal("expected error for bad bucket order")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.BatchSize != 1000 || c.ChunkSize != 50 || c.UniformNegs != 50 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.NegAlpha != 0.5 {
+		t.Fatalf("default alpha = %v, want 0.5 (paper §3.1)", c.NegAlpha)
+	}
+}

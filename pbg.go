@@ -1,0 +1,297 @@
+// Package pbg is a from-scratch Go implementation of PyTorch-BigGraph
+// (Lerer et al., "PyTorch-BigGraph: A Large-scale Graph Embedding System",
+// SysML 2019): a system for learning embeddings of multi-relation graphs
+// with billions of nodes, built around three ideas —
+//
+//   - block decomposition of the adjacency matrix into P×P buckets so only
+//     two embedding partitions need be in memory at a time (§4.1),
+//   - a distributed execution model with a bucket lock server, sharded
+//     partition servers and an asynchronous parameter server (§4.2), and
+//   - memory-efficient batched negative sampling that reuses a chunk's
+//     candidates across its positives (§4.3).
+//
+// The package exposes a high-level façade; the moving parts live in
+// internal/ (model, train, partition, storage, dist, eval, ...). A typical
+// single-machine run:
+//
+//	g, _ := pbg.SocialGraph(pbg.SocialGraphConfig{Nodes: 10000, AvgOutDegree: 10, Seed: 1})
+//	trainG, _, testG := pbg.Split(g, 0, 0.05, 42)
+//	m, _ := pbg.Train(trainG, pbg.TrainConfig{Dim: 64, Epochs: 10})
+//	metrics, _ := m.Evaluate(testG, pbg.EvalOptions{Candidates: 1000})
+//	fmt.Println(metrics)
+package pbg
+
+import (
+	"fmt"
+	"sort"
+
+	"pbg/internal/eval"
+	"pbg/internal/graph"
+	"pbg/internal/storage"
+	"pbg/internal/train"
+	"pbg/internal/vec"
+)
+
+// TrainConfig is the full hyperparameter surface of the trainer; see the
+// field documentation in internal/train. Zero values pick paper defaults
+// (d must be set; B=1000, C=50, U=50, α=0.5, Adagrad lr=0.1, ranking loss).
+type TrainConfig = train.Config
+
+// Graph re-exports the multi-relation graph container.
+type Graph = graph.Graph
+
+// EntityType declares one class of nodes and its partition count.
+type EntityType = graph.EntityType
+
+// RelationType declares one relation with its operator choice.
+type RelationType = graph.RelationType
+
+// EdgeList is columnar edge storage.
+type EdgeList = graph.EdgeList
+
+// Metrics carries link-prediction results (MRR, MR, Hits@k).
+type Metrics = eval.Metrics
+
+// NewGraph builds a validated multi-relation graph.
+func NewGraph(entities []EntityType, relations []RelationType, edges *EdgeList) (*Graph, error) {
+	schema, err := graph.NewSchema(entities, relations)
+	if err != nil {
+		return nil, err
+	}
+	return graph.NewGraph(schema, edges)
+}
+
+// Split partitions g's edges into train/valid/test deterministically.
+func Split(g *Graph, validFrac, testFrac float64, seed uint64) (trainG, validG, testG *Graph) {
+	return g.Split(validFrac, testFrac, seed)
+}
+
+// Model is a trained embedding model: entity embeddings (possibly sharded
+// on disk) plus per-relation operator parameters.
+type Model struct {
+	trainer *train.Trainer
+	graph   *Graph
+	store   storage.Store
+	stats   []train.EpochStats
+}
+
+// Train learns embeddings in memory on a single machine.
+func Train(g *Graph, cfg TrainConfig) (*Model, error) {
+	return TrainWithCallback(g, cfg, nil)
+}
+
+// TrainWithCallback is Train with a per-epoch hook (learning curves).
+func TrainWithCallback(g *Graph, cfg TrainConfig, onEpoch func(train.EpochStats)) (*Model, error) {
+	store := storage.NewMemStore(g.Schema, cfg.Dim, cfg.Seed+1, initScale(cfg))
+	return trainOn(g, store, cfg, onEpoch)
+}
+
+// TrainOnDisk learns embeddings with partition swapping to dir — the §4.1
+// regime that bounds memory to two partitions.
+func TrainOnDisk(g *Graph, dir string, cfg TrainConfig) (*Model, error) {
+	store, err := storage.NewDiskStore(dir, g.Schema, cfg.Dim, cfg.Seed+1, initScale(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return trainOn(g, store, cfg, nil)
+}
+
+func initScale(cfg TrainConfig) float32 {
+	if cfg.InitScale != 0 {
+		return cfg.InitScale
+	}
+	return 1
+}
+
+func trainOn(g *Graph, store storage.Store, cfg TrainConfig, onEpoch func(train.EpochStats)) (*Model, error) {
+	tr, err := train.New(g, store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := tr.Train(onEpoch)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{trainer: tr, graph: g, store: store, stats: stats}, nil
+}
+
+// EpochStats returns per-epoch training statistics.
+func (m *Model) EpochStats() []train.EpochStats { return m.stats }
+
+// Trainer exposes the underlying trainer for advanced use (continuing
+// training, distributed coordination, custom evaluation).
+func (m *Model) Trainer() *train.Trainer { return m.trainer }
+
+// Dim returns the embedding dimension.
+func (m *Model) Dim() int { return m.trainer.Config().Dim }
+
+// Embedding returns a copy of the embedding for entity id of the named
+// entity type.
+func (m *Model) Embedding(entityType string, id int32) ([]float32, error) {
+	ti := m.graph.Schema.EntityTypeIndex(entityType)
+	if ti < 0 {
+		return nil, fmt.Errorf("pbg: unknown entity type %q", entityType)
+	}
+	view := m.trainer.NewView()
+	defer view.Close()
+	out := make([]float32, m.Dim())
+	return view.Embedding(ti, id, out)
+}
+
+// Score computes f(src, rel, dst) with the trained parameters.
+func (m *Model) Score(rel int, src, dst int32) (float32, error) {
+	schema := m.graph.Schema
+	if rel < 0 || rel >= len(schema.Relations) {
+		return 0, fmt.Errorf("pbg: relation %d out of range", rel)
+	}
+	view := m.trainer.NewView()
+	defer view.Close()
+	si := schema.EntityTypeIndex(schema.Relations[rel].SourceType)
+	di := schema.EntityTypeIndex(schema.Relations[rel].DestType)
+	sbuf := make([]float32, m.Dim())
+	dbuf := make([]float32, m.Dim())
+	if _, err := view.Embedding(si, src, sbuf); err != nil {
+		return 0, err
+	}
+	if _, err := view.Embedding(di, dst, dbuf); err != nil {
+		return 0, err
+	}
+	return m.trainer.Scorer(rel).Score(sbuf, dbuf, m.trainer.RelParams(rel)), nil
+}
+
+// Neighbor is one nearest-neighbour result.
+type Neighbor struct {
+	ID    int32
+	Score float32
+}
+
+// NearestNeighbors returns the k entities of entityType most similar to id
+// under cosine similarity of raw embeddings (the typical downstream use of
+// the released Freebase embeddings).
+func (m *Model) NearestNeighbors(entityType string, id int32, k int) ([]Neighbor, error) {
+	ti := m.graph.Schema.EntityTypeIndex(entityType)
+	if ti < 0 {
+		return nil, fmt.Errorf("pbg: unknown entity type %q", entityType)
+	}
+	count := m.graph.Schema.Entities[ti].Count
+	view := m.trainer.NewView()
+	defer view.Close()
+	q := make([]float32, m.Dim())
+	if _, err := view.Embedding(ti, id, q); err != nil {
+		return nil, err
+	}
+	buf := make([]float32, m.Dim())
+	out := make([]Neighbor, 0, count-1)
+	for other := int32(0); int(other) < count; other++ {
+		if other == id {
+			continue
+		}
+		if _, err := view.Embedding(ti, other, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, Neighbor{ID: other, Score: vec.Cosine(q, buf)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// EvalOptions configures link-prediction evaluation.
+type EvalOptions struct {
+	// Candidates per test edge; 0 ranks against all entities.
+	Candidates int
+	// ByPrevalence samples candidates by training-set prevalence (§5.4.2's
+	// protocol) instead of uniformly.
+	ByPrevalence bool
+	// Filtered removes known true edges from candidates; Known must list
+	// the edge sets to filter (§5.4.1).
+	Filtered bool
+	Known    []*EdgeList
+	// BothSides also ranks corrupted sources.
+	BothSides bool
+	// MaxEdges caps evaluated edges (0 = all).
+	MaxEdges int
+	Seed     uint64
+}
+
+// Evaluate ranks the test edges and returns MRR/MR/Hits@k.
+func (m *Model) Evaluate(test *Graph, opts EvalOptions) (Metrics, error) {
+	view := m.trainer.NewView()
+	defer view.Close()
+	deg := graph.ComputeDegrees(m.graph)
+	rk := eval.NewRanker(m.graph.Schema, view, m.trainer, m.Dim(), deg)
+	cfg := eval.Config{
+		K:         opts.Candidates,
+		Filtered:  opts.Filtered,
+		BothSides: opts.BothSides,
+		MaxEdges:  opts.MaxEdges,
+		Seed:      opts.Seed,
+	}
+	switch {
+	case opts.Candidates == 0:
+		cfg.Mode = eval.CandidatesAll
+	case opts.ByPrevalence:
+		cfg.Mode = eval.CandidatesPrevalence
+	default:
+		cfg.Mode = eval.CandidatesUniform
+	}
+	if opts.Filtered {
+		cfg.Known = graph.NewEdgeSet(append([]*EdgeList{m.graph.Edges}, opts.Known...)...)
+	}
+	return rk.Evaluate(test.Edges, cfg)
+}
+
+// EmbeddingMatrix materialises all embeddings of one entity type into a
+// dense n×d matrix (features for downstream tasks, §5.3).
+func (m *Model) EmbeddingMatrix(entityType string) (vec.Matrix, error) {
+	ti := m.graph.Schema.EntityTypeIndex(entityType)
+	if ti < 0 {
+		return vec.Matrix{}, fmt.Errorf("pbg: unknown entity type %q", entityType)
+	}
+	count := m.graph.Schema.Entities[ti].Count
+	out := vec.NewMatrix(count, m.Dim())
+	view := m.trainer.NewView()
+	defer view.Close()
+	for id := int32(0); int(id) < count; id++ {
+		if _, err := view.Embedding(ti, id, out.Row(int(id))); err != nil {
+			return vec.Matrix{}, err
+		}
+	}
+	return out, nil
+}
+
+// Checkpoint persists all shards and relation parameters under dir.
+func (m *Model) Checkpoint(dir string) error {
+	ds, err := storage.NewDiskStore(dir, m.graph.Schema, m.Dim(), 0, 1)
+	if err != nil {
+		return err
+	}
+	for ti, e := range m.graph.Schema.Entities {
+		for p := 0; p < e.NumPartitions; p++ {
+			src, err := m.store.Acquire(ti, p)
+			if err != nil {
+				return err
+			}
+			dst, err := ds.Acquire(ti, p)
+			if err != nil {
+				return err
+			}
+			copy(dst.Embs, src.Embs)
+			copy(dst.Acc, src.Acc)
+			if err := ds.Release(ti, p); err != nil {
+				return err
+			}
+			if err := m.store.Release(ti, p); err != nil {
+				return err
+			}
+		}
+	}
+	rs := &storage.RelationState{}
+	for r := range m.graph.Schema.Relations {
+		rs.Params = append(rs.Params, m.trainer.RelParams(r))
+		rs.Acc = append(rs.Acc, make([]float32, len(m.trainer.RelParams(r))))
+	}
+	return storage.WriteRelations(dir+"/relations.pbg", rs)
+}

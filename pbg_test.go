@@ -1,0 +1,149 @@
+package pbg
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := SocialGraph(SocialGraphConfig{Nodes: 500, AvgOutDegree: 8, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainG, _, testG := Split(g, 0, 0.2, 3)
+	m, err := Train(trainG, TrainConfig{Dim: 16, Epochs: 4, Seed: 5, Comparator: "cos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := m.Evaluate(testG, EvalOptions{Candidates: 100, MaxEdges: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MRR < 0.08 {
+		t.Fatalf("MRR %.3f too close to random", metrics.MRR)
+	}
+	// Embedding access.
+	e, err := m.Embedding("node", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e) != 16 {
+		t.Fatalf("embedding dim %d", len(e))
+	}
+	// Score a real edge vs an unlikely one; at least it must not error.
+	s, rel, d := trainG.Edges.Edge(0)
+	if _, err := m.Score(int(rel), s, d); err != nil {
+		t.Fatal(err)
+	}
+	nn, err := m.NearestNeighbors("node", 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 5 {
+		t.Fatalf("got %d neighbours", len(nn))
+	}
+	for i := 1; i < len(nn); i++ {
+		if nn[i].Score > nn[i-1].Score {
+			t.Fatal("neighbours not sorted by score")
+		}
+	}
+}
+
+func TestTrainOnDisk(t *testing.T) {
+	g, err := SocialGraph(SocialGraphConfig{Nodes: 300, AvgOutDegree: 6, NumPartitions: 4, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainOnDisk(g, t.TempDir(), TrainConfig{Dim: 8, Epochs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Embedding("node", 250); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbeddingMatrix(t *testing.T) {
+	g, _ := SocialGraph(SocialGraphConfig{Nodes: 100, AvgOutDegree: 4, Seed: 55})
+	m, err := Train(g, TrainConfig{Dim: 8, Epochs: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := m.EmbeddingMatrix("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Rows != 100 || mat.Cols != 8 {
+		t.Fatalf("matrix %dx%d", mat.Rows, mat.Cols)
+	}
+}
+
+func TestCheckpoint(t *testing.T) {
+	g, _ := SocialGraph(SocialGraphConfig{Nodes: 100, AvgOutDegree: 4, NumPartitions: 2, Seed: 57})
+	m, err := Train(g, TrainConfig{Dim: 8, Epochs: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDistributed(t *testing.T) {
+	g, err := SocialGraph(SocialGraphConfig{Nodes: 400, AvgOutDegree: 8, NumPartitions: 4, Seed: 59})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainG, _, testG := Split(g, 0, 0.15, 3)
+	res, err := TrainDistributed(trainG, DistributedConfig{
+		Machines: 2, Epochs: 3, SyncInterval: 10 * time.Millisecond,
+		Train: TrainConfig{Dim: 16, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Cluster.Shutdown()
+	if len(res.EpochStats) != 3 {
+		t.Fatalf("epochs = %d", len(res.EpochStats))
+	}
+	metrics, err := res.EvaluateDistributed(trainG, testG, EvalOptions{Candidates: 100, MaxEdges: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Count == 0 {
+		t.Fatal("no edges evaluated")
+	}
+}
+
+func TestErrorsOnUnknownEntityType(t *testing.T) {
+	g, _ := SocialGraph(SocialGraphConfig{Nodes: 50, AvgOutDegree: 3, Seed: 61})
+	m, err := Train(g, TrainConfig{Dim: 4, Epochs: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Embedding("ghost", 0); err == nil {
+		t.Fatal("expected unknown-type error")
+	}
+	if _, err := m.NearestNeighbors("ghost", 0, 3); err == nil {
+		t.Fatal("expected unknown-type error")
+	}
+	if _, err := m.Score(99, 0, 1); err == nil {
+		t.Fatal("expected relation-range error")
+	}
+}
+
+func TestNewGraphPublic(t *testing.T) {
+	el := &EdgeList{}
+	el.Append(0, 0, 1)
+	g, err := NewGraph(
+		[]EntityType{{Name: "n", Count: 2, NumPartitions: 1}},
+		[]RelationType{{Name: "r", SourceType: "n", DestType: "n", Operator: "identity"}},
+		el,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges.Len() != 1 {
+		t.Fatal("edge lost")
+	}
+}
