@@ -19,7 +19,6 @@ import (
 	"log"
 	"net"
 	"net/rpc"
-	"strings"
 	"time"
 
 	"pbg/internal/datagen"
@@ -67,9 +66,9 @@ func main() {
 		node, err := dist.NewNode(g, dist.NodeConfig{
 			Rank:           *rank,
 			LockAddr:       *lock,
-			PartitionAddrs: strings.Split(*pservs, ","),
-			ParamAddrs:     splitNonEmpty(*qservs),
-			Train:          train.Config{Dim: *dim, Workers: *workers, Seed: *seed},
+			PartitionAddrs: dist.SplitAddrs(*pservs),
+			ParamAddrs:     dist.SplitAddrs(*qservs),
+			Train:          train.Config{Dim: *dim, Workers: *workers, Seed: dist.RankSeed(*seed, *rank)},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -94,7 +93,7 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("rank %d epoch %d: %d buckets, %d edges, loss/edge %.4f, %.2fs\n",
-				*rank, e, st.Buckets, st.Edges, st.Loss/float64(maxInt(st.Edges, 1)), time.Since(start).Seconds())
+				*rank, e, st.Buckets, st.Edges, st.Loss/float64(max(st.Edges, 1)), time.Since(start).Seconds())
 		}
 	default:
 		flag.Usage()
@@ -131,18 +130,4 @@ func serveForever(addr string, receivers map[string]any) {
 		}
 		go srv.ServeConn(conn)
 	}
-}
-
-func splitNonEmpty(s string) []string {
-	if s == "" {
-		return nil
-	}
-	return strings.Split(s, ",")
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,3 @@
+module pbg
+
+go 1.22

@@ -201,7 +201,7 @@ func distributedSweep(s Scale, id, title string, build func(parts int) (*graph.G
 		}
 		trainG, _, testG := g.Split(0.05, 0.05, 5)
 		deg := graph.ComputeDegrees(trainG)
-		order, err := partition.Order(partition.OrderInsideOut, maxParts(g.Schema), maxParts(g.Schema), 0)
+		order, err := partition.Order(partition.OrderInsideOut, g.Schema.MaxPartitions(), g.Schema.MaxPartitions(), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -257,16 +257,6 @@ func distributedSweep(s Scale, id, title string, build func(parts int) (*graph.G
 	return rep, nil
 }
 
-func maxParts(s *graph.Schema) int {
-	p := 1
-	for _, e := range s.Entities {
-		if e.NumPartitions > p {
-			p = e.NumPartitions
-		}
-	}
-	return p
-}
-
 // Figure6FreebaseCurves reproduces Figure 6: MRR as a function of epoch and
 // of wallclock time for 1, 2, 4 and 8 machines on the Freebase stand-in.
 func Figure6FreebaseCurves(s Scale) ([]*eval.Curve, error) {
@@ -286,7 +276,7 @@ func distributedCurves(s Scale, build func(parts int) (*graph.Graph, error)) ([]
 		}
 		trainG, _, testG := g.Split(0.05, 0.05, 5)
 		deg := graph.ComputeDegrees(trainG)
-		order, err := partition.Order(partition.OrderInsideOut, maxParts(g.Schema), maxParts(g.Schema), 0)
+		order, err := partition.Order(partition.OrderInsideOut, g.Schema.MaxPartitions(), g.Schema.MaxPartitions(), 0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,224 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"pbg/internal/graph"
+	"pbg/internal/partition"
+	"pbg/internal/storage"
+	"pbg/internal/train"
+)
+
+// partServerStripes is the lock striping inside each in-process partition
+// server; trainers touch at most a handful of shards concurrently.
+const partServerStripes = 8
+
+// ClusterConfig sizes an in-process distributed deployment.
+type ClusterConfig struct {
+	// Machines is the number of trainer nodes; the deployment also runs
+	// Machines partition-server shards (the paper shards partition servers
+	// across the trainer machines) and one parameter server.
+	Machines int
+	// SyncInterval throttles background parameter sync (default 100ms).
+	SyncInterval time.Duration
+	// Seed drives deterministic lazy shard initialisation on the partition
+	// servers (the distributed counterpart of a store seed).
+	Seed uint64
+	// Train carries the per-node hyperparameters; each node gets a
+	// rank-offset copy of Train.Seed so HOGWILD shuffles and negative
+	// samples differ across machines.
+	Train train.Config
+	// InitScale scales shard initialisation. Default Train.InitScale, then 1.
+	InitScale float32
+}
+
+// Cluster wires every §4.2 component together inside one process, over real
+// loopback-TCP net/rpc: one lock server, Machines sharded partition servers,
+// one parameter server and Machines trainer nodes. It exists so distributed
+// training can be exercised (and benchmarked, Tables 3–4) without a fleet,
+// while running the exact same code a multi-host deployment runs.
+type Cluster struct {
+	// Nodes are the trainer machines, indexed by rank.
+	Nodes []*Node
+
+	g         *graph.Graph
+	dim       int
+	initScale float32
+	partAddrs []string
+	listeners []net.Listener
+	lock      *rpc.Client
+	shutdown  sync.Once
+}
+
+// serve registers the receivers on a fresh loopback listener and serves
+// connections until the listener closes. It returns the bound address.
+func serve(receivers map[string]any) (net.Listener, string, error) {
+	srv := rpc.NewServer()
+	for name, rcvr := range receivers {
+		if err := srv.RegisterName(name, rcvr); err != nil {
+			return nil, "", err
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed: shutdown
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return l, l.Addr().String(), nil
+}
+
+// NewCluster boots the deployment. order is the bucket order the lock
+// server leases from (it must cover the partition grid g's schema implies).
+func NewCluster(g *graph.Graph, order []partition.Bucket, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Machines <= 0 {
+		return nil, fmt.Errorf("dist: Machines must be positive, got %d", cfg.Machines)
+	}
+	if cfg.Train.Dim <= 0 {
+		return nil, fmt.Errorf("dist: Train.Dim must be positive")
+	}
+	// With several trainers, an unpartitioned type's whole shard is written
+	// back concurrently by nodes holding disjoint buckets — last writer wins
+	// and the others' updates are silently lost. Refuse the config, as the
+	// paper requires partitioning every entity type for distributed training.
+	if cfg.Machines > 1 {
+		for _, e := range g.Schema.Entities {
+			if !e.Partitioned() {
+				return nil, fmt.Errorf("dist: entity type %q is unpartitioned; distributed training with %d machines needs every type partitioned (its concurrent write-backs would be last-writer-wins)", e.Name, cfg.Machines)
+			}
+		}
+	}
+	initScale := cfg.InitScale
+	if initScale == 0 {
+		initScale = cfg.Train.InitScale
+	}
+	if initScale == 0 {
+		initScale = 1
+	}
+	cl := &Cluster{g: g, dim: cfg.Train.Dim, initScale: initScale}
+	fail := func(err error) (*Cluster, error) {
+		cl.Shutdown()
+		return nil, err
+	}
+
+	l, lockAddr, err := serve(map[string]any{"LockServer": NewLockServer(order)})
+	if err != nil {
+		return fail(err)
+	}
+	cl.listeners = append(cl.listeners, l)
+	for i := 0; i < cfg.Machines; i++ {
+		ps := NewPartitionServer(g.Schema, cfg.Train.Dim, cfg.Seed, partServerStripes)
+		l, addr, err := serve(map[string]any{"PartitionServer": ps})
+		if err != nil {
+			return fail(err)
+		}
+		cl.listeners = append(cl.listeners, l)
+		cl.partAddrs = append(cl.partAddrs, addr)
+	}
+	l, paramAddr, err := serve(map[string]any{"ParamServer": NewParamServer()})
+	if err != nil {
+		return fail(err)
+	}
+	cl.listeners = append(cl.listeners, l)
+
+	cl.lock, err = rpc.Dial("tcp", lockAddr)
+	if err != nil {
+		return fail(err)
+	}
+	for rank := 0; rank < cfg.Machines; rank++ {
+		trainCfg := cfg.Train
+		trainCfg.Seed = RankSeed(cfg.Train.Seed, rank)
+		node, err := NewNode(g, NodeConfig{
+			Rank:           rank,
+			LockAddr:       lockAddr,
+			PartitionAddrs: cl.partAddrs,
+			ParamAddrs:     []string{paramAddr},
+			Train:          trainCfg,
+			SyncInterval:   cfg.SyncInterval,
+			InitScale:      initScale,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		cl.Nodes = append(cl.Nodes, node)
+	}
+	return cl, nil
+}
+
+// RunEpoch starts an epoch on the lock server and runs every node's share
+// concurrently, returning the merged statistics.
+func (cl *Cluster) RunEpoch() (EpochStats, error) {
+	var rep StartEpochReply
+	if err := cl.lock.Call("LockServer.StartEpoch", StartEpochArgs{}, &rep); err != nil {
+		return EpochStats{}, err
+	}
+	start := time.Now()
+	stats := make([]EpochStats, len(cl.Nodes))
+	errs := make([]error, len(cl.Nodes))
+	var wg sync.WaitGroup
+	for i, n := range cl.Nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			stats[i], errs[i] = n.RunEpoch()
+		}(i, n)
+	}
+	wg.Wait()
+	var merged EpochStats
+	for i := range cl.Nodes {
+		if errs[i] != nil {
+			return merged, errs[i]
+		}
+	}
+	// Second sync round after the barrier: each node's end-of-epoch sync ran
+	// before later-finishing nodes pushed their final deltas, so adopt the
+	// settled global block everywhere before anyone evaluates.
+	for _, n := range cl.Nodes {
+		if err := n.SyncParams(); err != nil {
+			return merged, err
+		}
+	}
+	for i := range cl.Nodes {
+		merged.Loss += stats[i].Loss
+		merged.Edges += stats[i].Edges
+		merged.Buckets += stats[i].Buckets
+		merged.PerNode = append(merged.PerNode, stats[i].PerNode...)
+	}
+	sort.Slice(merged.PerNode, func(i, j int) bool { return merged.PerNode[i].Rank < merged.PerNode[j].Rank })
+	merged.Duration = time.Since(start)
+	return merged, nil
+}
+
+// EvalStore returns a read-only store over the cluster's current embeddings
+// (fetched lazily from the partition servers). The caller must Close it; the
+// cluster itself stays alive for further epochs.
+func (cl *Cluster) EvalStore() (storage.Store, error) {
+	return dialStore(cl.g.Schema, cl.dim, cl.initScale, true, cl.partAddrs)
+}
+
+// Shutdown stops every node and server. Safe to call more than once.
+func (cl *Cluster) Shutdown() {
+	cl.shutdown.Do(func() {
+		for _, n := range cl.Nodes {
+			n.Close()
+		}
+		if cl.lock != nil {
+			cl.lock.Close()
+		}
+		for _, l := range cl.listeners {
+			l.Close()
+		}
+	})
+}

@@ -1,0 +1,231 @@
+// Package dist implements PBG's distributed execution mode (§4.2, Figure 2):
+// a set of trainer machines cooperate on one epoch by leasing edge buckets
+// with pairwise-disjoint partitions from a central lock server, exchanging
+// embedding partitions (with their Adagrad state) through sharded in-memory
+// partition servers, and keeping shared relation-operator parameters loosely
+// in sync through an asynchronous parameter server.
+//
+// All components speak net/rpc over TCP, so the same pieces assemble both the
+// in-process Cluster harness (loopback sockets, used by TrainDistributed and
+// the Tables 3–4 / Figure 6 benchmarks) and a real multi-host deployment via
+// cmd/pbg-node.
+//
+// The division of state follows the paper exactly:
+//
+//   - Edge buckets: every trainer holds the full (deterministically
+//     regenerated or shared-filesystem) edge list; the LockServer decides who
+//     trains which bucket, enforcing disjointness and the §4.1 "established
+//     partitions" constraint through partition.Scheduler.
+//   - Partitioned entity embeddings: owned by the PartitionServer shard that
+//     the (entity type, partition) key hashes to; a trainer checks the two
+//     partitions of its current bucket out, trains them locally with HOGWILD
+//     workers, and writes them back before releasing the bucket, so at most
+//     one trainer ever holds a partition.
+//   - Relation parameters: updated by every trainer concurrently, so they are
+//     synchronised optimistically: a background goroutine pushes the local
+//     delta since the last sync and pulls the global value every
+//     SyncInterval, giving staleness bounded by that interval (§4.2's
+//     asynchronous parameter server).
+//
+// Unpartitioned entity types are stored on the partition servers too (key
+// (type, 0)); with more than one trainer their concurrent write-backs would
+// be last-writer-wins, so NewCluster rejects unpartitioned types when
+// Machines > 1 — distributed runs must partition every entity type, as the
+// paper requires. (NewNode cannot check this: a single node does not know
+// how many trainers the deployment has.)
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"pbg/internal/partition"
+	"pbg/internal/storage"
+)
+
+// SplitAddrs parses a comma-separated address list, returning nil for the
+// empty string (so optional server lists can be passed straight from flags).
+func SplitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// serverIndex maps an (entity type, partition) key onto one of n servers.
+// Every client must agree on this mapping, so it is fixed here.
+func serverIndex(typeIndex, part, n int) int {
+	return (typeIndex*7919 + part) % n
+}
+
+// RankSeed offsets a deployment-wide training seed for one trainer rank, so
+// HOGWILD shuffles and negative samples differ across machines while staying
+// deterministic. Cluster and cmd/pbg-node both use it; graph regeneration
+// keeps the unoffset seed.
+func RankSeed(seed uint64, rank int) uint64 {
+	return seed + uint64(rank)*0x9E37
+}
+
+// Floats is a []float32 with a compact gob encoding. The reflective gob
+// path encodes every float separately, which dominates swap time for
+// multi-megabyte partitions; this fixed-width little-endian form keeps the
+// partition servers I/O-bound on the socket instead of the encoder.
+type Floats []float32
+
+// GobEncode implements gob.GobEncoder.
+func (f Floats) GobEncode() ([]byte, error) {
+	out := make([]byte, 4*len(f))
+	for i, v := range f {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (f *Floats) GobDecode(b []byte) error {
+	if len(b)%4 != 0 {
+		return fmt.Errorf("dist: float payload length %d not a multiple of 4", len(b))
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	*f = out
+	return nil
+}
+
+// ShardPayload is the wire form of a storage.Shard.
+type ShardPayload struct {
+	TypeIndex int
+	Part      int
+	Count     int
+	Dim       int
+	Embs      Floats
+	Acc       Floats
+}
+
+// payloadFromShard wraps a shard for transmission without copying.
+func payloadFromShard(s *storage.Shard) *ShardPayload {
+	return &ShardPayload{
+		TypeIndex: s.TypeIndex,
+		Part:      s.Part,
+		Count:     s.Count,
+		Dim:       s.Dim,
+		Embs:      Floats(s.Embs),
+		Acc:       Floats(s.Acc),
+	}
+}
+
+// Shard converts the payload back into a storage.Shard, sharing the decoded
+// buffers.
+func (p *ShardPayload) Shard() *storage.Shard {
+	return &storage.Shard{
+		TypeIndex: p.TypeIndex,
+		Part:      p.Part,
+		Count:     p.Count,
+		Dim:       p.Dim,
+		Embs:      []float32(p.Embs),
+		Acc:       []float32(p.Acc),
+	}
+}
+
+// --- Lock server wire types ---
+
+// StartEpochArgs begins a new epoch on the lock server (called once per
+// epoch, by rank 0 in multi-process deployments).
+type StartEpochArgs struct{}
+
+// StartEpochReply reports the epoch number just started (1-based).
+type StartEpochReply struct {
+	Epoch int
+}
+
+// AcquireArgs requests a bucket lease for the given epoch. Held lists the
+// partitions the trainer most recently worked on, so the scheduler can
+// prefer buckets that reuse them (less partition-server traffic).
+type AcquireArgs struct {
+	Epoch int
+	Rank  int
+	Held  []int
+}
+
+// AcquireReply grants a bucket, asks the trainer to retry, or declares the
+// epoch finished.
+type AcquireReply struct {
+	// Granted means Bucket is leased to the caller until ReleaseBucket.
+	Granted bool
+	Bucket  partition.Bucket
+	// Done means every bucket of the requested epoch has been trained (or
+	// the server has already moved past that epoch).
+	Done bool
+}
+
+// ReleaseArgs returns a completed (or abandoned) bucket lease.
+type ReleaseArgs struct {
+	Epoch  int
+	Rank   int
+	Bucket partition.Bucket
+}
+
+// Ack is an empty RPC reply.
+type Ack struct{}
+
+// --- Partition server wire types ---
+
+// GetArgs fetches one (entity type, partition) shard. InitScale seeds lazy
+// initialisation the first time any trainer touches the shard; all trainers
+// must pass the same value (it defaults to 1).
+type GetArgs struct {
+	TypeIndex int
+	Part      int
+	Count     int // rows the shard must have (from the schema)
+	Dim       int
+	InitScale float32
+}
+
+// ShardReply carries one shard.
+type ShardReply struct {
+	Shard *ShardPayload
+}
+
+// PutArgs stores a shard back, overwriting the server copy.
+type PutArgs struct {
+	Shard *ShardPayload
+}
+
+// SwapArgs combines Put(Old) and Get(new key) in a single round trip — the
+// §4.2 partition swap.
+type SwapArgs struct {
+	Put *ShardPayload
+	Get GetArgs
+}
+
+// --- Parameter server wire types ---
+
+// InitRelArgs publishes a relation's initial parameter block. The first
+// writer wins; every caller receives the canonical block back, so all
+// trainers start from identical relation parameters.
+type InitRelArgs struct {
+	Rel    int
+	Params Floats
+}
+
+// SyncArgs pushes the local parameter delta accumulated since the last sync.
+type SyncArgs struct {
+	Rel   int
+	Delta Floats
+}
+
+// SyncReply returns the post-push global parameters and their version (the
+// total number of pushes applied), letting clients observe staleness.
+type SyncReply struct {
+	Params  Floats
+	Version int64
+}
+
+// PullArgs fetches a relation's current global parameters without pushing.
+type PullArgs struct {
+	Rel int
+}

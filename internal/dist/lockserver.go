@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"pbg/internal/partition"
+)
+
+// LockServer is the central bucket-leasing service of §4.2. It wraps
+// partition.Scheduler — which enforces pairwise-disjoint in-flight buckets
+// and the "established partitions" constraint — with epoch bookkeeping so
+// independently-paced trainers stay in lockstep at epoch granularity:
+// a trainer asking for buckets of an epoch the server has not started yet is
+// told to wait, and one asking for an already-superseded epoch is told that
+// epoch is done.
+//
+// A lease held by a trainer that dies without calling AbandonBucket is never
+// reclaimed (there is no heartbeat or timeout), so the epoch stalls — the
+// same restart-the-run failure model as the paper's implementation. Lease
+// TTLs would need trainer heartbeats to avoid handing a slow trainer's
+// partitions to a second writer.
+type LockServer struct {
+	mu     sync.Mutex
+	sched  *partition.Scheduler
+	epoch  int                      // 0 until the first StartEpoch
+	leases map[partition.Bucket]int // bucket -> holding rank
+}
+
+// NewLockServer creates a lock server over the given bucket order. The first
+// epoch starts when StartEpoch is called.
+func NewLockServer(order []partition.Bucket) *LockServer {
+	return &LockServer{
+		sched:  partition.NewScheduler(order, false),
+		leases: make(map[partition.Bucket]int),
+	}
+}
+
+// StartEpoch begins the next epoch. All buckets become pending again; the
+// set of initialised partitions is retained, so from the second epoch on the
+// two-uninitialised-partitions rule no longer throttles parallelism.
+func (ls *LockServer) StartEpoch(args StartEpochArgs, reply *StartEpochReply) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if len(ls.leases) > 0 {
+		return fmt.Errorf("dist: StartEpoch with %d buckets still leased", len(ls.leases))
+	}
+	if ls.epoch > 0 {
+		ls.sched.Reset()
+	}
+	ls.epoch++
+	reply.Epoch = ls.epoch
+	return nil
+}
+
+// AcquireBucket leases the next available bucket of args.Epoch.
+func (ls *LockServer) AcquireBucket(args AcquireArgs, reply *AcquireReply) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	switch {
+	case args.Epoch > ls.epoch:
+		// Epoch not started yet: retry after rank 0 calls StartEpoch.
+		return nil
+	case args.Epoch < ls.epoch:
+		// The server has moved on; the requested epoch is complete.
+		reply.Done = true
+		return nil
+	}
+	b, ok, done := ls.sched.Acquire(args.Held)
+	if done {
+		reply.Done = true
+		return nil
+	}
+	if !ok {
+		return nil // nothing disjoint available right now: retry
+	}
+	ls.leases[b] = args.Rank
+	reply.Granted = true
+	reply.Bucket = b
+	return nil
+}
+
+// ReleaseBucket completes a lease: the bucket is marked done for this epoch
+// and its partitions become available (and count as established).
+func (ls *LockServer) ReleaseBucket(args ReleaseArgs, reply *Ack) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	holder, ok := ls.leases[args.Bucket]
+	if !ok {
+		return fmt.Errorf("dist: release of unleased bucket %v", args.Bucket)
+	}
+	if holder != args.Rank {
+		return fmt.Errorf("dist: rank %d releasing bucket %v leased to rank %d", args.Rank, args.Bucket, holder)
+	}
+	if args.Epoch != ls.epoch {
+		return fmt.Errorf("dist: release of bucket %v for epoch %d, server at %d", args.Bucket, args.Epoch, ls.epoch)
+	}
+	delete(ls.leases, args.Bucket)
+	ls.sched.Release(args.Bucket)
+	return nil
+}
+
+// AbandonBucket returns a lease without marking the bucket done (trainer
+// failure); another trainer will pick it up.
+func (ls *LockServer) AbandonBucket(args ReleaseArgs, reply *Ack) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	holder, ok := ls.leases[args.Bucket]
+	if !ok {
+		return fmt.Errorf("dist: abandon of unleased bucket %v", args.Bucket)
+	}
+	if holder != args.Rank {
+		return fmt.Errorf("dist: rank %d abandoning bucket %v leased to rank %d", args.Rank, args.Bucket, holder)
+	}
+	delete(ls.leases, args.Bucket)
+	ls.sched.Abandon(args.Bucket)
+	return nil
+}

@@ -1,0 +1,310 @@
+package dist
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"pbg/internal/graph"
+	"pbg/internal/train"
+)
+
+// acquirePoll is how long a trainer waits before re-asking the lock server
+// when no disjoint bucket (or no started epoch) is available.
+const acquirePoll = 2 * time.Millisecond
+
+// defaultSyncInterval bounds relation-parameter staleness when the caller
+// does not choose an interval.
+const defaultSyncInterval = 100 * time.Millisecond
+
+// NodeConfig wires one trainer machine into the deployment.
+type NodeConfig struct {
+	// Rank identifies the trainer (0-based; rank 0 conventionally drives
+	// StartEpoch in multi-process deployments).
+	Rank int
+	// LockAddr is the lock server's address.
+	LockAddr string
+	// PartitionAddrs lists every partition server, in the deployment-wide
+	// order (all trainers must agree, since the key→server hash depends on
+	// the list position).
+	PartitionAddrs []string
+	// ParamAddrs lists the parameter servers (relation r lives on server
+	// r mod len). Empty disables relation-parameter sync, which is exact for
+	// parameter-free operators like identity.
+	ParamAddrs []string
+	// Train carries the per-node training hyperparameters.
+	Train train.Config
+	// SyncInterval throttles the background parameter sync (default 100ms).
+	SyncInterval time.Duration
+	// InitScale scales lazy shard initialisation on the partition servers;
+	// all trainers must agree. Default 1.
+	InitScale float32
+}
+
+// NodeStats is one trainer's contribution to an epoch.
+type NodeStats struct {
+	Rank         int
+	Buckets      int
+	Edges        int
+	PeakResident int64
+}
+
+// EpochStats aggregates one distributed epoch.
+type EpochStats struct {
+	Duration time.Duration
+	Buckets  int
+	Edges    int
+	Loss     float64
+	PerNode  []NodeStats
+}
+
+// Node is one trainer machine of Figure 2: it leases buckets from the lock
+// server, checks the buckets' partitions out of the partition servers,
+// trains them with a local train.Trainer (HOGWILD workers and all), writes
+// them back, and keeps relation parameters synced through the parameter
+// server from a background goroutine.
+type Node struct {
+	cfg     NodeConfig
+	trainer *train.Trainer
+	store   *remoteStore
+	lock    *rpc.Client
+	params  []*rpc.Client
+
+	epoch int // local epoch counter; must track StartEpoch calls
+
+	// syncMu serialises parameter syncs (ticker goroutine vs. the forced
+	// end-of-epoch sync). lastSync[r] is the global block at the previous
+	// sync, so the next push sends only this node's own updates.
+	syncMu      sync.Mutex
+	lastSync    [][]float32
+	stop        chan struct{}
+	syncDone    chan struct{}
+	syncStarted bool
+	closed      sync.Once
+}
+
+// NewNode connects to the deployment and prepares a trainer over g. The
+// node's bucket-sorted edge copy comes from g; which of those edges actually
+// get trained each epoch is decided by the lock server.
+func NewNode(g *graph.Graph, cfg NodeConfig) (*Node, error) {
+	if cfg.LockAddr == "" {
+		return nil, fmt.Errorf("dist: node needs a lock server address")
+	}
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = defaultSyncInterval
+	}
+	store, err := dialStore(g.Schema, cfg.Train.Dim, cfg.InitScale, false, cfg.PartitionAddrs)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{cfg: cfg, store: store, stop: make(chan struct{}), syncDone: make(chan struct{})}
+	fail := func(err error) (*Node, error) {
+		n.Close()
+		return nil, err
+	}
+	n.lock, err = rpc.Dial("tcp", cfg.LockAddr)
+	if err != nil {
+		return fail(fmt.Errorf("dist: dial lock server %s: %w", cfg.LockAddr, err))
+	}
+	for _, addr := range cfg.ParamAddrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			return fail(fmt.Errorf("dist: dial param server %s: %w", addr, err))
+		}
+		n.params = append(n.params, c)
+	}
+	n.trainer, err = train.New(g, store, cfg.Train)
+	if err != nil {
+		return fail(err)
+	}
+	if err := n.initRelParams(); err != nil {
+		return fail(err)
+	}
+	n.syncStarted = true
+	go n.syncLoop()
+	return n, nil
+}
+
+// Trainer exposes the node's local trainer (scorers, relation parameters,
+// store) for evaluation and advanced use.
+func (n *Node) Trainer() *train.Trainer { return n.trainer }
+
+// Rank returns the node's rank.
+func (n *Node) Rank() int { return n.cfg.Rank }
+
+func (n *Node) paramClient(rel int) *rpc.Client {
+	return n.params[rel%len(n.params)]
+}
+
+// initRelParams publishes this node's initial relation parameters and adopts
+// the canonical (first writer's) block, so all trainers start identically.
+func (n *Node) initRelParams() error {
+	schema := n.trainer.Schema()
+	n.lastSync = make([][]float32, len(schema.Relations))
+	if len(n.params) == 0 {
+		return nil
+	}
+	for r := range schema.Relations {
+		block := n.trainer.RelParams(r)
+		if len(block) == 0 {
+			continue
+		}
+		var reply InitRelReply
+		if err := n.paramClient(r).Call("ParamServer.InitRel", InitRelArgs{Rel: r, Params: Floats(block)}, &reply); err != nil {
+			return fmt.Errorf("dist: init relation %d: %w", r, err)
+		}
+		n.trainer.SetRelParams(r, reply.Params)
+		n.lastSync[r] = append([]float32(nil), reply.Params...)
+	}
+	return nil
+}
+
+// syncLoop drives the asynchronous parameter sync at SyncInterval.
+func (n *Node) syncLoop() {
+	defer close(n.syncDone)
+	if len(n.params) == 0 {
+		return
+	}
+	ticker := time.NewTicker(n.cfg.SyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			// Best effort: a failed background sync is retried next tick,
+			// and SyncParams surfaces errors where callers can see them.
+			_ = n.SyncParams()
+		}
+	}
+}
+
+// SyncParams pushes this node's relation-parameter deltas and pulls the
+// global blocks, once for every parameterised relation. It runs in the
+// background at SyncInterval and is forced at the end of every epoch so
+// evaluation sees each node's final updates.
+func (n *Node) SyncParams() error {
+	if len(n.params) == 0 {
+		return nil
+	}
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	for r := range n.lastSync {
+		if n.lastSync[r] == nil {
+			continue // parameter-free relation
+		}
+		if err := n.syncRelation(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncRelation pushes relation r's local delta and adopts the global block.
+// Scoring workers read relation parameters lock-free, so the adoption is a
+// benign HOGWILD-style race, exactly like the paper's asynchronous updates;
+// WithRelParams only orders this write against concurrent Adagrad updates.
+func (n *Node) syncRelation(r int) error {
+	last := n.lastSync[r]
+	// Snapshot the local block and the delta since the last sync under the
+	// trainer's relation lock, so we race with no HOGWILD update.
+	snap := make([]float32, len(last))
+	delta := make([]float32, len(last))
+	n.trainer.WithRelParams(r, func(p []float32) {
+		copy(snap, p)
+		for i := range p {
+			delta[i] = p[i] - last[i]
+		}
+	})
+	var reply SyncReply
+	if err := n.paramClient(r).Call("ParamServer.Sync", SyncArgs{Rel: r, Delta: Floats(delta)}, &reply); err != nil {
+		return fmt.Errorf("dist: sync relation %d: %w", r, err)
+	}
+	// Adopt the global block, preserving any local updates that landed while
+	// the RPC was in flight (they are not on the server yet; they will ride
+	// the next delta).
+	n.trainer.WithRelParams(r, func(p []float32) {
+		for i := range p {
+			p[i] = reply.Params[i] + (p[i] - snap[i])
+		}
+	})
+	n.lastSync[r] = reply.Params
+	return nil
+}
+
+// RunEpoch trains this node's share of one epoch: it leases buckets until
+// the lock server declares the epoch done. Some rank must have called
+// StartEpoch (the Cluster does it; in multi-process deployments rank 0
+// does); until then the node polls.
+func (n *Node) RunEpoch() (EpochStats, error) {
+	n.epoch++
+	start := time.Now()
+	var st EpochStats
+	var held []int
+	for {
+		var rep AcquireReply
+		if err := n.lock.Call("LockServer.AcquireBucket", AcquireArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Held: held}, &rep); err != nil {
+			return st, err
+		}
+		if rep.Done {
+			break
+		}
+		if !rep.Granted {
+			time.Sleep(acquirePoll)
+			continue
+		}
+		b := rep.Bucket
+		loss, edges, err := n.trainer.TrainBucket(b)
+		if err != nil {
+			// Return the lease so another trainer can take the bucket over.
+			var ack Ack
+			_ = n.lock.Call("LockServer.AbandonBucket", ReleaseArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Bucket: b}, &ack)
+			return st, err
+		}
+		st.Loss += loss
+		st.Edges += edges
+		st.Buckets++
+		var ack Ack
+		if err := n.lock.Call("LockServer.ReleaseBucket", ReleaseArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Bucket: b}, &ack); err != nil {
+			return st, err
+		}
+		held = b.Parts()
+	}
+	if err := n.SyncParams(); err != nil {
+		return st, err
+	}
+	st.Duration = time.Since(start)
+	st.PerNode = []NodeStats{{
+		Rank:         n.cfg.Rank,
+		Buckets:      st.Buckets,
+		Edges:        st.Edges,
+		PeakResident: n.trainer.PeakResidentBytes(),
+	}}
+	return st, nil
+}
+
+// Close stops the sync goroutine and hangs up every connection.
+func (n *Node) Close() error {
+	var first error
+	n.closed.Do(func() {
+		close(n.stop)
+		if n.syncStarted {
+			<-n.syncDone
+		}
+		if n.store != nil {
+			first = n.store.Close()
+		}
+		if n.lock != nil {
+			if err := n.lock.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, c := range n.params {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	})
+	return first
+}

@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"pbg/internal/graph"
+	"pbg/internal/rng"
+	"pbg/internal/storage"
+)
+
+// PartitionServer holds embedding partitions (with their Adagrad state) in
+// memory for the trainers of one deployment. A deployment runs several of
+// these; each (entity type, partition) key lives on exactly one server,
+// chosen by the shared client-side hash (serverIndex), so a server only ever
+// materialises the shards it owns.
+//
+// Shards are created lazily with the same deterministic per-shard seeding as
+// storage stores, so a partition first touched by any trainer — or never
+// written back at all — still has well-defined contents.
+type PartitionServer struct {
+	schema *graph.Schema
+	dim    int
+	seed   uint64
+
+	// Storage is striped to keep concurrent Get/Put/Swap from different
+	// trainers from serialising on one mutex.
+	stripes []partStripe
+}
+
+type partStripe struct {
+	mu     sync.Mutex
+	shards map[partKey]*storage.Shard
+}
+
+type partKey struct{ t, p int }
+
+// NewPartitionServer creates a server for the given schema and embedding
+// dimension. seed drives lazy shard initialisation (it must match across the
+// deployment's partition servers and the single-machine baseline for
+// reproducible starts). shards is the number of internal lock stripes;
+// values below 1 mean 1.
+func NewPartitionServer(schema *graph.Schema, dim int, seed uint64, shards int) *PartitionServer {
+	if shards < 1 {
+		shards = 1
+	}
+	ps := &PartitionServer{schema: schema, dim: dim, seed: seed, stripes: make([]partStripe, shards)}
+	for i := range ps.stripes {
+		ps.stripes[i].shards = make(map[partKey]*storage.Shard)
+	}
+	return ps
+}
+
+func (ps *PartitionServer) stripe(k partKey) *partStripe {
+	return &ps.stripes[(k.t*31+k.p)%len(ps.stripes)]
+}
+
+func (ps *PartitionServer) checkKey(t, p, dim int) error {
+	if t < 0 || t >= len(ps.schema.Entities) {
+		return fmt.Errorf("dist: entity type %d out of range", t)
+	}
+	e := ps.schema.Entities[t]
+	if p < 0 || p >= e.NumPartitions {
+		return fmt.Errorf("dist: partition %d out of range for type %q (%d partitions)", p, e.Name, e.NumPartitions)
+	}
+	if dim != 0 && dim != ps.dim {
+		return fmt.Errorf("dist: client dim %d, server dim %d", dim, ps.dim)
+	}
+	return nil
+}
+
+// loadLocked returns the shard for k, initialising it deterministically on
+// first touch. The stripe mutex must be held.
+func (ps *PartitionServer) loadLocked(st *partStripe, k partKey, scale float32) *storage.Shard {
+	if sh, ok := st.shards[k]; ok {
+		return sh
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	e := ps.schema.Entities[k.t]
+	sh := storage.NewShard(k.t, k.p, e.PartitionCount(k.p), ps.dim)
+	// Shared seed derivation, so a fresh distributed run starts from the
+	// same embeddings as a MemStore with the same seed.
+	sh.Init(rng.New(storage.ShardSeed(ps.seed, k.t, k.p)), scale)
+	st.shards[k] = sh
+	return sh
+}
+
+// Get fetches one shard, lazily initialising it on first touch.
+func (ps *PartitionServer) Get(args GetArgs, reply *ShardReply) error {
+	if err := ps.checkKey(args.TypeIndex, args.Part, args.Dim); err != nil {
+		return err
+	}
+	if want := ps.schema.Entities[args.TypeIndex].PartitionCount(args.Part); args.Count != 0 && args.Count != want {
+		return fmt.Errorf("dist: client expects %d rows in shard (%d,%d), server schema has %d — mismatched graph configuration",
+			args.Count, args.TypeIndex, args.Part, want)
+	}
+	k := partKey{args.TypeIndex, args.Part}
+	st := ps.stripe(k)
+	st.mu.Lock()
+	sh := ps.loadLocked(st, k, args.InitScale)
+	st.mu.Unlock()
+	reply.Shard = payloadFromShard(sh)
+	return nil
+}
+
+// Put stores a shard back, replacing the server copy.
+func (ps *PartitionServer) Put(args PutArgs, reply *Ack) error {
+	if args.Shard == nil {
+		return fmt.Errorf("dist: Put with nil shard")
+	}
+	sh := args.Shard.Shard()
+	if err := ps.checkKey(sh.TypeIndex, sh.Part, sh.Dim); err != nil {
+		return err
+	}
+	want := ps.schema.Entities[sh.TypeIndex].PartitionCount(sh.Part)
+	if sh.Count != want || len(sh.Embs) != want*ps.dim || len(sh.Acc) != want {
+		return fmt.Errorf("dist: Put shard (%d,%d) has %d rows, want %d", sh.TypeIndex, sh.Part, sh.Count, want)
+	}
+	k := partKey{sh.TypeIndex, sh.Part}
+	st := ps.stripe(k)
+	st.mu.Lock()
+	st.shards[k] = sh
+	st.mu.Unlock()
+	return nil
+}
+
+// Swap writes one shard back and fetches another in a single round trip —
+// the partition exchange a trainer performs between consecutive buckets.
+func (ps *PartitionServer) Swap(args SwapArgs, reply *ShardReply) error {
+	if args.Put != nil {
+		var ack Ack
+		if err := ps.Put(PutArgs{Shard: args.Put}, &ack); err != nil {
+			return err
+		}
+	}
+	return ps.Get(args.Get, reply)
+}

@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+
+	"pbg/internal/graph"
+	"pbg/internal/storage"
+)
+
+// remoteStore implements storage.Store on top of a set of partition servers:
+// Acquire checks a shard out over RPC, Release writes it back and evicts it.
+// It is the distributed analogue of storage.DiskStore — the "disk" is the
+// deployment's sharded partition-server memory — and it is what makes
+// train.Trainer work unchanged in distributed mode: the trainer's per-bucket
+// Acquire/Release calls become the §4.2 partition swaps.
+//
+// A readonly store (used for evaluation snapshots) skips the write-back so
+// concurrent trainers never observe an evaluator's stale copy.
+//
+// Shards are deliberately not cached across buckets: once the bucket lease
+// is released, another trainer may acquire and modify a shared partition,
+// so a kept copy could go stale. Exploiting the lock server's Held affinity
+// without refetching would require leases that span bucket transitions; the
+// Swap RPC exists so such a trainer can at least pair its write-back and
+// fetch in one round trip.
+type remoteStore struct {
+	schema    *graph.Schema
+	dim       int
+	initScale float32
+	readonly  bool
+	clients   []*rpc.Client
+
+	mu    sync.Mutex
+	cache map[partKey]*storeEntry
+}
+
+type storeEntry struct {
+	shard *storage.Shard
+	refs  int
+}
+
+// dialStore connects to every partition server and returns a store over
+// them. The store owns the connections; Close hangs them up.
+func dialStore(schema *graph.Schema, dim int, initScale float32, readonly bool, addrs []string) (*remoteStore, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dist: no partition servers")
+	}
+	if initScale == 0 {
+		initScale = 1
+	}
+	s := &remoteStore{
+		schema:    schema,
+		dim:       dim,
+		initScale: initScale,
+		readonly:  readonly,
+		cache:     make(map[partKey]*storeEntry),
+	}
+	for _, addr := range addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("dist: dial partition server %s: %w", addr, err)
+		}
+		s.clients = append(s.clients, c)
+	}
+	return s, nil
+}
+
+func (s *remoteStore) client(t, p int) *rpc.Client {
+	return s.clients[serverIndex(t, p, len(s.clients))]
+}
+
+// Acquire implements storage.Store: a cache miss fetches the shard from the
+// owning partition server.
+func (s *remoteStore) Acquire(t, p int) (*storage.Shard, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := partKey{t, p}
+	if e, ok := s.cache[k]; ok {
+		e.refs++
+		return e.shard, nil
+	}
+	var reply ShardReply
+	args := GetArgs{
+		TypeIndex: t,
+		Part:      p,
+		Count:     s.schema.Entities[t].PartitionCount(p),
+		Dim:       s.dim,
+		InitScale: s.initScale,
+	}
+	if err := s.client(t, p).Call("PartitionServer.Get", args, &reply); err != nil {
+		return nil, fmt.Errorf("dist: get shard (%d,%d): %w", t, p, err)
+	}
+	sh := reply.Shard.Shard()
+	s.cache[k] = &storeEntry{shard: sh, refs: 1}
+	return sh, nil
+}
+
+// Release implements storage.Store: the last reference writes the shard back
+// to its partition server and evicts it, so the next trainer to lease a
+// bucket touching this partition sees the update.
+func (s *remoteStore) Release(t, p int) error {
+	s.mu.Lock()
+	k := partKey{t, p}
+	e, ok := s.cache[k]
+	if !ok || e.refs <= 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("dist: Release of unacquired shard (%d,%d)", t, p)
+	}
+	e.refs--
+	if e.refs > 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	delete(s.cache, k)
+	s.mu.Unlock()
+	if s.readonly {
+		return nil
+	}
+	// Write back outside the lock: the shard is no longer visible locally.
+	var ack Ack
+	if err := s.client(t, p).Call("PartitionServer.Put", PutArgs{Shard: payloadFromShard(e.shard)}, &ack); err != nil {
+		return fmt.Errorf("dist: put shard (%d,%d): %w", t, p, err)
+	}
+	return nil
+}
+
+// Flush implements storage.Store: push every resident shard back without
+// evicting (checkpoint-style).
+func (s *remoteStore) Flush() error {
+	if s.readonly {
+		return nil
+	}
+	s.mu.Lock()
+	shards := make([]*storage.Shard, 0, len(s.cache))
+	for _, e := range s.cache {
+		shards = append(shards, e.shard)
+	}
+	s.mu.Unlock()
+	for _, sh := range shards {
+		var ack Ack
+		if err := s.client(sh.TypeIndex, sh.Part).Call("PartitionServer.Put", PutArgs{Shard: payloadFromShard(sh)}, &ack); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResidentBytes implements storage.Store.
+func (s *remoteStore) ResidentBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, e := range s.cache {
+		total += e.shard.Bytes()
+	}
+	return total
+}
+
+// Close implements storage.Store: hang up the partition-server connections.
+func (s *remoteStore) Close() error {
+	var first error
+	for _, c := range s.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.clients = nil
+	return first
+}

@@ -165,6 +165,10 @@ type Store interface {
 	Flush() error
 	// ResidentBytes reports the memory held by resident shards.
 	ResidentBytes() int64
+	// Close releases any resources behind the store (network connections for
+	// remote stores, a final Flush for disk stores). The store must not be
+	// used afterwards.
+	Close() error
 }
 
 type shardKey struct{ t, p int }
@@ -184,12 +188,18 @@ type common struct {
 	scale  float32
 }
 
+// ShardSeed derives the per-shard RNG seed for (entity type t, partition p).
+// Initialisation is deterministic regardless of the order in which shards
+// are first touched, and the distributed partition servers use the same
+// derivation so remote lazy init matches a local store bit for bit.
+func ShardSeed(seed uint64, t, p int) uint64 {
+	return (seed ^ uint64(t)<<32 ^ uint64(p)) + 0x9E3779B97F4A7C15
+}
+
 func (c *common) newShard(t, p int) *Shard {
 	e := c.schema.Entities[t]
 	sh := NewShard(t, p, e.PartitionCount(p), c.dim)
-	// Seed per shard so initialisation is deterministic regardless of the
-	// order in which shards are first touched.
-	sh.Init(rng.New(c.seed^uint64(t)<<32^uint64(p)+0x9E3779B97F4A7C15), c.scale)
+	sh.Init(rng.New(ShardSeed(c.seed, t, p)), c.scale)
 	return sh
 }
 
@@ -244,6 +254,9 @@ func (m *MemStore) Flush() error { return nil }
 
 // ResidentBytes implements Store.
 func (m *MemStore) ResidentBytes() int64 { return m.residentBytes() }
+
+// Close implements Store (no-op: everything lives in memory).
+func (m *MemStore) Close() error { return nil }
 
 // DiskStore persists shards under Dir and keeps only referenced shards in
 // memory — the partition-swapping mode that gives the 88% memory reduction
@@ -328,6 +341,9 @@ func (d *DiskStore) Flush() error {
 
 // ResidentBytes implements Store.
 func (d *DiskStore) ResidentBytes() int64 { return d.residentBytes() }
+
+// Close implements Store: persist everything still resident.
+func (d *DiskStore) Close() error { return d.Flush() }
 
 // WriteEdges persists an edge list in a compact binary format (bucket files
 // on the shared filesystem in Figure 2's architecture).

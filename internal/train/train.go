@@ -391,12 +391,19 @@ func (t *Trainer) releaseBucketShards(m map[shardKey]shardRef) error {
 
 // trainBucket trains edges [lo, hi) of the bucket-sorted edge list, which
 // all belong to bucket b.
-func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (float64, int, error) {
+func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edges int, err error) {
 	shards, err := t.acquireBucketShards(b)
 	if err != nil {
 		return 0, 0, err
 	}
-	defer t.releaseBucketShards(shards)
+	// Release errors must surface: with a distributed store, Release is the
+	// write-back that publishes this bucket's updates, and dropping its
+	// failure would mark the bucket done while its training is lost.
+	defer func() {
+		if rerr := t.releaseBucketShards(shards); rerr != nil && err == nil {
+			loss, edges, err = 0, 0, rerr
+		}
+	}()
 	// Sample peak model memory while the bucket's shards are resident (the
 	// Tables 3–4 memory column).
 	if rb := t.store.ResidentBytes(); rb > t.peakBytes {
@@ -427,7 +434,6 @@ func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (float64, int, err
 		}(w, t.root.Split())
 	}
 	wg.Wait()
-	var loss float64
 	for w := 0; w < workers; w++ {
 		if errs[w] != nil {
 			return 0, 0, errs[w]

@@ -1,6 +1,7 @@
 package pbg
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -113,6 +114,58 @@ func TestPublicDistributed(t *testing.T) {
 	if metrics.Count == 0 {
 		t.Fatal("no edges evaluated")
 	}
+}
+
+// TestDistributedParityWithSingleMachine is the Table 3 invariant as a smoke
+// test: training the same partitioned social graph on 2 machines (lock
+// server, partition servers, async parameter sync over loopback TCP) must
+// produce finite losses and an MRR within noise of the single-machine run.
+func TestDistributedParityWithSingleMachine(t *testing.T) {
+	g, err := SocialGraph(SocialGraphConfig{Nodes: 600, AvgOutDegree: 10, NumPartitions: 4, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainG, _, testG := Split(g, 0, 0.1, 3)
+	cfg := TrainConfig{Dim: 16, Epochs: 4, Seed: 5, Comparator: "cos"}
+	evalOpts := EvalOptions{Candidates: 200, MaxEdges: 300, Seed: 1}
+
+	single, err := Train(trainG, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := single.Evaluate(testG, evalOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := TrainDistributed(trainG, DistributedConfig{
+		Machines: 2, Epochs: 4, SyncInterval: 20 * time.Millisecond, Train: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Cluster.Shutdown()
+	for e, st := range res.EpochStats {
+		if math.IsNaN(st.Loss) || math.IsInf(st.Loss, 0) {
+			t.Fatalf("epoch %d loss = %v", e, st.Loss)
+		}
+		if st.Edges != trainG.Edges.Len() {
+			t.Fatalf("epoch %d trained %d edges, want %d", e, st.Edges, trainG.Edges.Len())
+		}
+	}
+	dm, err := res.EvaluateDistributed(trainG, testG, evalOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.MRR < 0.08 {
+		t.Fatalf("distributed MRR %.3f too close to random", dm.MRR)
+	}
+	// "Approximately flat MRR" (Tables 3–4): the runs differ in bucket
+	// schedule and negative samples, so demand agreement, not equality.
+	if dm.MRR < 0.7*sm.MRR {
+		t.Fatalf("distributed MRR %.3f far below single-machine %.3f", dm.MRR, sm.MRR)
+	}
+	t.Logf("single-machine %v, distributed %v", sm, dm)
 }
 
 func TestErrorsOnUnknownEntityType(t *testing.T) {
