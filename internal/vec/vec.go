@@ -182,6 +182,13 @@ func (m Matrix) Row(i int) []float32 {
 // MulABt computes C = A · Bᵀ where A is (n×d), B is (m×d) and C is (n×m).
 // This is the batched-negative-scoring kernel from Figure 3 of the paper: the
 // scores of n positives against m candidate negatives are a single GEMM.
+//
+// The kernel is register-blocked 4×2: each inner pass streams the shared
+// dimension once for a 4-row tile of A against a 2-row tile of B, keeping 8
+// accumulators live in registers — 8 FMAs per 6 loads versus 1 FMA per 2
+// loads for the row-times-row formulation. (A 4×4 tile's 16 accumulators
+// spill out of the 16 XMM registers on amd64 and measure slower than naive;
+// 8 is the sweet spot for Go's scalar codegen.)
 func MulABt(c, a, b Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("vec: MulABt inner dim mismatch %d != %d", a.Cols, b.Cols))
@@ -189,10 +196,49 @@ func MulABt(c, a, b Matrix) {
 	if c.Rows != a.Rows || c.Cols != b.Rows {
 		panic(fmt.Sprintf("vec: MulABt output %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
+	n, m, d := a.Rows, b.Rows, a.Cols
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		// Reslice every row to the shared length so the compiler drops the
+		// bounds checks in the accumulator loop.
+		x0, x1, x2, x3 := a.Row(i)[:d], a.Row(i + 1)[:d], a.Row(i + 2)[:d], a.Row(i + 3)[:d]
+		c0, c1, c2, c3 := c.Row(i), c.Row(i+1), c.Row(i+2), c.Row(i+3)
+		j := 0
+		for ; j+2 <= m; j += 2 {
+			b0, b1 := b.Row(j)[:d], b.Row(j + 1)[:d]
+			var s00, s01, s10, s11, s20, s21, s30, s31 float32
+			for k := 0; k < d; k++ {
+				b0k, b1k := b0[k], b1[k]
+				v := x0[k]
+				s00 += v * b0k
+				s01 += v * b1k
+				v = x1[k]
+				s10 += v * b0k
+				s11 += v * b1k
+				v = x2[k]
+				s20 += v * b0k
+				s21 += v * b1k
+				v = x3[k]
+				s30 += v * b0k
+				s31 += v * b1k
+			}
+			c0[j], c0[j+1] = s00, s01
+			c1[j], c1[j+1] = s10, s11
+			c2[j], c2[j+1] = s20, s21
+			c3[j], c3[j+1] = s30, s31
+		}
+		if j < m {
+			bj := b.Row(j)
+			c0[j] = Dot(x0, bj)
+			c1[j] = Dot(x1, bj)
+			c2[j] = Dot(x2, bj)
+			c3[j] = Dot(x3, bj)
+		}
+	}
+	for ; i < n; i++ {
 		ai := a.Row(i)
 		ci := c.Row(i)
-		for j := 0; j < b.Rows; j++ {
+		for j := 0; j < m; j++ {
 			ci[j] = Dot(ai, b.Row(j))
 		}
 	}
@@ -202,15 +248,51 @@ func MulABt(c, a, b Matrix) {
 // (n×d). This is the backward pass of MulABt with respect to its first
 // argument: given upstream gradients G on the score matrix, each row i of A
 // receives Σ_j G[i,j]·B[j].
+//
+// Register-blocked 2×4: a 2-row tile of A accumulates against a 4-row tile
+// of B per pass over d — 8 FMAs per 6 loads and 2 stores, with each B row
+// loaded once per two A rows. Tiles whose 8 G coefficients are all zero
+// (fully masked score blocks, or ranking-loss chunks with no margin
+// violations) are skipped.
 func AddOuterAtB(a, g, b Matrix) {
 	if g.Rows != a.Rows || g.Cols != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("vec: AddOuterAtB shape mismatch g=%dx%d a=%dx%d b=%dx%d",
 			g.Rows, g.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
+	n, m, d := a.Rows, b.Rows, a.Cols
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		g0, g1 := g.Row(i), g.Row(i+1)
+		a0, a1 := a.Row(i)[:d], a.Row(i + 1)[:d]
+		j := 0
+		for ; j+4 <= m; j += 4 {
+			w00, w01, w02, w03 := g0[j], g0[j+1], g0[j+2], g0[j+3]
+			w10, w11, w12, w13 := g1[j], g1[j+1], g1[j+2], g1[j+3]
+			if w00 == 0 && w01 == 0 && w02 == 0 && w03 == 0 &&
+				w10 == 0 && w11 == 0 && w12 == 0 && w13 == 0 {
+				continue
+			}
+			b0, b1, b2, b3 := b.Row(j)[:d], b.Row(j + 1)[:d], b.Row(j + 2)[:d], b.Row(j + 3)[:d]
+			for k := 0; k < d; k++ {
+				b0k, b1k, b2k, b3k := b0[k], b1[k], b2[k], b3[k]
+				a0[k] += w00*b0k + w01*b1k + w02*b2k + w03*b3k
+				a1[k] += w10*b0k + w11*b1k + w12*b2k + w13*b3k
+			}
+		}
+		for ; j < m; j++ {
+			bj := b.Row(j)
+			if g0[j] != 0 {
+				Axpy(g0[j], bj, a0)
+			}
+			if g1[j] != 0 {
+				Axpy(g1[j], bj, a1)
+			}
+		}
+	}
+	for ; i < n; i++ {
 		gi := g.Row(i)
 		ai := a.Row(i)
-		for j := 0; j < b.Rows; j++ {
+		for j := 0; j < m; j++ {
 			if gi[j] != 0 {
 				Axpy(gi[j], b.Row(j), ai)
 			}
@@ -220,18 +302,52 @@ func AddOuterAtB(a, g, b Matrix) {
 
 // AddOuterGtA accumulates B += Gᵀ · A where G is (n×m), A is (n×d), B is
 // (m×d). This is the backward pass of MulABt with respect to its second
-// argument.
+// argument. Register-blocked 2×4 with the tile roles of AddOuterAtB
+// transposed: a 2-row tile of B accumulates against a 4-row tile of A, with
+// all-zero coefficient tiles skipped.
 func AddOuterGtA(b, g, a Matrix) {
 	if g.Rows != a.Rows || g.Cols != b.Rows || a.Cols != b.Cols {
 		panic(fmt.Sprintf("vec: AddOuterGtA shape mismatch g=%dx%d a=%dx%d b=%dx%d",
 			g.Rows, g.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	for i := 0; i < g.Rows; i++ {
-		gi := g.Row(i)
-		ai := a.Row(i)
-		for j := 0; j < b.Rows; j++ {
+	n, m, d := a.Rows, b.Rows, a.Cols
+	j := 0
+	for ; j+2 <= m; j += 2 {
+		b0, b1 := b.Row(j)[:d], b.Row(j + 1)[:d]
+		i := 0
+		for ; i+4 <= n; i += 4 {
+			g0, g1, g2, g3 := g.Row(i), g.Row(i+1), g.Row(i+2), g.Row(i+3)
+			w00, w01 := g0[j], g0[j+1]
+			w10, w11 := g1[j], g1[j+1]
+			w20, w21 := g2[j], g2[j+1]
+			w30, w31 := g3[j], g3[j+1]
+			if w00 == 0 && w01 == 0 && w10 == 0 && w11 == 0 &&
+				w20 == 0 && w21 == 0 && w30 == 0 && w31 == 0 {
+				continue
+			}
+			a0, a1, a2, a3 := a.Row(i)[:d], a.Row(i + 1)[:d], a.Row(i + 2)[:d], a.Row(i + 3)[:d]
+			for k := 0; k < d; k++ {
+				a0k, a1k, a2k, a3k := a0[k], a1[k], a2[k], a3[k]
+				b0[k] += w00*a0k + w10*a1k + w20*a2k + w30*a3k
+				b1[k] += w01*a0k + w11*a1k + w21*a2k + w31*a3k
+			}
+		}
+		for ; i < n; i++ {
+			gi := g.Row(i)
+			ai := a.Row(i)
 			if gi[j] != 0 {
-				Axpy(gi[j], ai, b.Row(j))
+				Axpy(gi[j], ai, b0)
+			}
+			if gi[j+1] != 0 {
+				Axpy(gi[j+1], ai, b1)
+			}
+		}
+	}
+	if j < m {
+		bj := b.Row(j)
+		for i := 0; i < n; i++ {
+			if v := g.Row(i)[j]; v != 0 {
+				Axpy(v, a.Row(i), bj)
 			}
 		}
 	}
