@@ -343,6 +343,9 @@ func TestParamServerAsyncConvergence(t *testing.T) {
 // server, sharded partition servers, parameter server, two trainer nodes —
 // over loopback TCP for two epochs and checks the work accounting.
 func TestClusterLoopbackIntegration(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("HOGWILD workers race with the async param sync by design (§4.2); the RPC/store machinery is covered race-clean by the other dist tests")
+	}
 	const parts = 4
 	g, err := datagen.Knowledge(datagen.KGConfig{
 		Entities: 800, Relations: 4, Edges: 6000, NumPartitions: parts, Seed: 11,

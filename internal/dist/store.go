@@ -39,6 +39,10 @@ type remoteStore struct {
 type storeEntry struct {
 	shard *storage.Shard
 	refs  int
+	// ready is non-nil while a fetch (Prefetch or first Acquire) is in
+	// flight; shard/err are set before it closes and immutable afterwards.
+	ready chan struct{}
+	err   error
 }
 
 // dialStore connects to every partition server and returns a store over
@@ -72,16 +76,9 @@ func (s *remoteStore) client(t, p int) *rpc.Client {
 	return s.clients[serverIndex(t, p, len(s.clients))]
 }
 
-// Acquire implements storage.Store: a cache miss fetches the shard from the
-// owning partition server.
-func (s *remoteStore) Acquire(t, p int) (*storage.Shard, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	k := partKey{t, p}
-	if e, ok := s.cache[k]; ok {
-		e.refs++
-		return e.shard, nil
-	}
+// get performs the Get RPC for shard (t,p). Called without the lock held so
+// fetches of different shards overlap on the wire.
+func (s *remoteStore) get(t, p int) (*storage.Shard, error) {
 	var reply ShardReply
 	args := GetArgs{
 		TypeIndex: t,
@@ -93,14 +90,85 @@ func (s *remoteStore) Acquire(t, p int) (*storage.Shard, error) {
 	if err := s.client(t, p).Call("PartitionServer.Get", args, &reply); err != nil {
 		return nil, fmt.Errorf("dist: get shard (%d,%d): %w", t, p, err)
 	}
-	sh := reply.Shard.Shard()
-	s.cache[k] = &storeEntry{shard: sh, refs: 1}
-	return sh, nil
+	return reply.Shard.Shard(), nil
+}
+
+// fetch resolves an in-flight entry: it runs the RPC and publishes the
+// result. On failure the entry is removed so a retry can refetch; waiters
+// read err from their captured entry pointer.
+func (s *remoteStore) fetch(k partKey, e *storeEntry) {
+	sh, err := s.get(k.t, k.p)
+	s.mu.Lock()
+	e.shard, e.err = sh, err
+	if err != nil {
+		delete(s.cache, k)
+	}
+	close(e.ready)
+	e.ready = nil
+	s.mu.Unlock()
+}
+
+// Prefetch implements storage.Store: it starts fetching shard (t,p) from its
+// partition server in the background so a later Acquire finds it resident —
+// the remote analogue of the DiskStore prefetch that lets the pipelined
+// epoch executor overlap partition-server round trips with training. It is
+// a no-op when the shard is already cached or being fetched.
+func (s *remoteStore) Prefetch(t, p int) {
+	k := partKey{t, p}
+	s.mu.Lock()
+	if _, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		return
+	}
+	e := &storeEntry{ready: make(chan struct{})}
+	s.cache[k] = e
+	s.mu.Unlock()
+	go s.fetch(k, e)
+}
+
+// Acquire implements storage.Store: a cache miss fetches the shard from the
+// owning partition server; a hit on an in-flight prefetch waits for that
+// fetch instead of issuing a second Get (two copies of the same shard would
+// diverge under training).
+func (s *remoteStore) Acquire(t, p int) (*storage.Shard, error) {
+	k := partKey{t, p}
+	s.mu.Lock()
+	for {
+		e, ok := s.cache[k]
+		if !ok {
+			e = &storeEntry{ready: make(chan struct{})}
+			s.cache[k] = e
+			s.mu.Unlock()
+			s.fetch(k, e) // synchronous fetch in this goroutine
+			if e.err != nil {
+				return nil, e.err
+			}
+			s.mu.Lock()
+			continue
+		}
+		if e.ready != nil {
+			ready := e.ready
+			s.mu.Unlock()
+			<-ready
+			if e.err != nil {
+				return nil, e.err
+			}
+			s.mu.Lock()
+			continue
+		}
+		e.refs++
+		sh := e.shard
+		s.mu.Unlock()
+		return sh, nil
+	}
 }
 
 // Release implements storage.Store: the last reference writes the shard back
 // to its partition server and evicts it, so the next trainer to lease a
-// bucket touching this partition sees the update.
+// bucket touching this partition sees the update. Unlike DiskStore's
+// asynchronous write-back, the Put stays synchronous: the lock server may
+// grant these partitions to another trainer the moment the bucket lease is
+// returned, so the write must have landed before Release returns.
 func (s *remoteStore) Release(t, p int) error {
 	s.mu.Lock()
 	k := partKey{t, p}
@@ -136,7 +204,9 @@ func (s *remoteStore) Flush() error {
 	s.mu.Lock()
 	shards := make([]*storage.Shard, 0, len(s.cache))
 	for _, e := range s.cache {
-		shards = append(shards, e.shard)
+		if e.shard != nil { // skip fetches still in flight
+			shards = append(shards, e.shard)
+		}
 	}
 	s.mu.Unlock()
 	for _, sh := range shards {
@@ -154,7 +224,9 @@ func (s *remoteStore) ResidentBytes() int64 {
 	defer s.mu.Unlock()
 	var total int64
 	for _, e := range s.cache {
-		total += e.shard.Bytes()
+		if e.shard != nil { // fetches still in flight hold no memory yet
+			total += e.shard.Bytes()
+		}
 	}
 	return total
 }

@@ -1,0 +1,389 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pbg/internal/graph"
+)
+
+// diskIOWorkers bounds the number of concurrent background shard loads and
+// write-backs per DiskStore. Two is enough to overlap one prefetch with one
+// eviction; four covers buckets whose relations span several entity types.
+const diskIOWorkers = 4
+
+// diskEntry is one cached shard together with its I/O state. An entry moves
+// through three states, always under the store lock:
+//
+//	loading:  ready != nil — a Prefetch or first Acquire is reading the file
+//	          (or initialising); shard/loadErr are set before ready closes.
+//	resident: ready == nil, writing == false — the shard is usable.
+//	writing:  refs hit zero and a write-back is in flight. The write works
+//	          on a snapshot copied under the store lock, so a concurrent
+//	          Acquire revives the live in-memory shard immediately — it
+//	          neither re-reads a stale or half-renamed file nor waits for
+//	          the disk write. The entry stays cached until the rename lands.
+type diskEntry struct {
+	shard *Shard
+	refs  int
+
+	ready   chan struct{} // non-nil while a load is in flight
+	loadErr error         // set before ready closes; immutable afterwards
+
+	writing bool
+	// rewrite marks that refs hit zero again while a write was in flight;
+	// the completion handler chains a write of a fresh snapshot, so an
+	// older in-flight write can never overwrite newer data (writes of one
+	// shard are strictly serialised through this flag).
+	rewrite bool
+	// snapDone is non-nil for the brief window while the write-back's
+	// snapshot copy is being taken outside the store lock; an Acquire that
+	// revives the entry waits on it (a memcpy, not a disk write) before
+	// handing out the buffers for mutation.
+	snapDone chan struct{}
+}
+
+// DiskStore persists shards under dir and keeps only referenced (or
+// prefetched) shards in memory — the partition-swapping mode that gives the
+// 88% memory reduction of §5.4.2. Loads hinted via Prefetch and the
+// write-back of evicted shards run on a small background I/O pool so the
+// training thread overlaps bucket transitions with compute (§4.1
+// pipelining). Write-backs double-buffer: each writes a snapshot taken at
+// eviction, costing one transient shard copy per in-flight write (bounded
+// by the pool size) in exchange for re-Acquires never stalling on the disk.
+type DiskStore struct {
+	schema *graph.Schema
+	dim    int
+	seed   uint64
+	scale  float32
+	dir    string
+
+	mu        sync.Mutex
+	cache     map[shardKey]*diskEntry
+	ioErr     error // first async write-back failure; sticky
+	closed    bool
+	loads     int64
+	writes    int64
+	snapBytes int64 // memory held by in-flight write-back snapshots
+
+	sem     chan struct{} // bounds concurrent background I/O
+	pending sync.WaitGroup
+}
+
+// NewDiskStore creates a disk-backed store rooted at dir.
+func NewDiskStore(dir string, schema *graph.Schema, dim int, seed uint64, initScale float32) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskStore{
+		schema: schema,
+		dim:    dim,
+		seed:   seed,
+		scale:  initScale,
+		dir:    dir,
+		cache:  make(map[shardKey]*diskEntry),
+		sem:    make(chan struct{}, diskIOWorkers),
+	}, nil
+}
+
+func (d *DiskStore) path(t, p int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("shard_t%d_p%d.pbg", t, p))
+}
+
+// newShard lazily initialises shard (t,p) with the deterministic per-shard
+// seed derivation shared with the distributed partition servers.
+func (d *DiskStore) newShard(t, p int) *Shard {
+	e := d.schema.Entities[t]
+	sh := NewShard(t, p, e.PartitionCount(p), d.dim)
+	sh.Init(newShardRNG(d.seed, t, p), d.scale)
+	return sh
+}
+
+// submit runs fn on the background I/O pool.
+func (d *DiskStore) submit(fn func()) {
+	d.pending.Add(1)
+	go func() {
+		defer d.pending.Done()
+		d.sem <- struct{}{}
+		defer func() { <-d.sem }()
+		fn()
+	}()
+}
+
+// Prefetch implements Store: it starts loading shard (t,p) on the background
+// pool so a later Acquire finds it resident. It never blocks on I/O, takes
+// no reference, and is a no-op when the shard is already cached, loading, or
+// mid-write-back (an Acquire revives the latter without touching disk).
+func (d *DiskStore) Prefetch(t, p int) {
+	k := shardKey{t, p}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	if _, ok := d.cache[k]; ok {
+		d.mu.Unlock()
+		return
+	}
+	e := &diskEntry{ready: make(chan struct{})}
+	d.cache[k] = e
+	d.mu.Unlock()
+	d.submit(func() { d.load(k, e) })
+}
+
+// load reads or initialises shard k and publishes the result into e. On
+// failure the entry is removed so a retry can re-attempt the load; waiters
+// read loadErr from their captured entry pointer. Lazy initialisation only
+// happens when the shard file verifiably does not exist — any other stat
+// failure is an error, because re-initialising over a real-but-unreadable
+// file would silently discard that partition's training on write-back.
+func (d *DiskStore) load(k shardKey, e *diskEntry) {
+	var sh *Shard
+	var err error
+	if _, serr := os.Stat(d.path(k.t, k.p)); serr == nil {
+		sh, err = ReadShard(d.path(k.t, k.p))
+	} else if os.IsNotExist(serr) {
+		sh = d.newShard(k.t, k.p)
+	} else {
+		err = fmt.Errorf("storage: stat shard (%d,%d): %w", k.t, k.p, serr)
+	}
+	d.mu.Lock()
+	e.shard, e.loadErr = sh, err
+	if err != nil {
+		delete(d.cache, k)
+	}
+	d.loads++
+	close(e.ready)
+	e.ready = nil
+	d.mu.Unlock()
+}
+
+// Acquire implements Store, loading from disk when evicted earlier. A hit on
+// a prefetched-but-still-loading entry waits for the background load rather
+// than issuing a second read; a hit on an entry whose write-back is in
+// flight revives the live in-memory shard immediately (the writer works on
+// a snapshot) and never re-reads the file.
+func (d *DiskStore) Acquire(t, p int) (*Shard, error) {
+	k := shardKey{t, p}
+	d.mu.Lock()
+	for {
+		e, ok := d.cache[k]
+		if !ok {
+			e = &diskEntry{ready: make(chan struct{})}
+			d.cache[k] = e
+			d.mu.Unlock()
+			d.load(k, e) // synchronous load in this goroutine
+			if e.loadErr != nil {
+				return nil, e.loadErr
+			}
+			d.mu.Lock()
+			continue
+		}
+		if e.ready != nil { // load in flight (prefetch or racing Acquire)
+			ready := e.ready
+			d.mu.Unlock()
+			<-ready
+			if e.loadErr != nil {
+				return nil, e.loadErr
+			}
+			d.mu.Lock()
+			continue
+		}
+		e.refs++
+		sh := e.shard
+		if e.snapDone != nil {
+			// A write-back is snapshotting these buffers outside the lock;
+			// wait for the memcpy (not the disk write) before the caller may
+			// mutate them.
+			done := e.snapDone
+			d.mu.Unlock()
+			<-done
+			return sh, nil
+		}
+		d.mu.Unlock()
+		return sh, nil
+	}
+}
+
+// snapshot returns a private copy of s. Write-backs serialise snapshots
+// (taken under the store lock, when no trainer holds a reference) instead
+// of the live buffers, so a revived shard can be mutated while its previous
+// state is still being written out.
+func (s *Shard) snapshot() *Shard {
+	return &Shard{
+		TypeIndex: s.TypeIndex, Part: s.Part, Count: s.Count, Dim: s.Dim,
+		Embs: append([]float32(nil), s.Embs...),
+		Acc:  append([]float32(nil), s.Acc...),
+	}
+}
+
+// Release implements Store: the last reference schedules an asynchronous
+// write-back of a snapshot on the I/O pool and the shard is evicted once
+// the write lands. Because write-backs are asynchronous, a failure surfaces
+// as the (sticky) error of a later Release, Flush, Drain, or Close call.
+func (d *DiskStore) Release(t, p int) error {
+	k := shardKey{t, p}
+	d.mu.Lock()
+	e, ok := d.cache[k]
+	if !ok || e.refs <= 0 || e.ready != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: Release of unacquired shard (%d,%d)", t, p)
+	}
+	e.refs--
+	err := d.ioErr
+	if e.refs > 0 {
+		d.mu.Unlock()
+		return err
+	}
+	if e.writing {
+		// A write of an older snapshot is still in flight; chain a rewrite
+		// behind it rather than racing two renames to the same file.
+		e.rewrite = true
+		d.mu.Unlock()
+		return err
+	}
+	e.writing = true
+	d.startWrite(k, e)
+	return err
+}
+
+// startWrite snapshots e's shard and submits its write-back. The caller
+// must hold d.mu with e.writing freshly set; startWrite unlocks it. The
+// multi-MB snapshot copy runs outside the store lock — guarded by
+// e.snapDone so only a revival of this very shard waits for the memcpy —
+// keeping evictions from convoying every other Acquire/Prefetch/Release.
+func (d *DiskStore) startWrite(k shardKey, e *diskEntry) {
+	e.snapDone = make(chan struct{})
+	sh := e.shard
+	d.mu.Unlock()
+	snap := sh.snapshot()
+	d.mu.Lock()
+	close(e.snapDone)
+	e.snapDone = nil
+	d.snapBytes += snap.Bytes()
+	d.mu.Unlock()
+	d.submit(func() { d.writeBack(k, e, snap) })
+}
+
+// writeBack persists a snapshot of e's shard and evicts the entry unless an
+// Acquire revived it while the write was in flight. On failure the entry
+// stays resident: the in-memory shard is the only current copy, so evicting
+// it would lose the bucket's training — the sticky error surfaces on the
+// next Release or Drain, while Flush and Close retry the write (clearing
+// the error if the retry lands).
+func (d *DiskStore) writeBack(k shardKey, e *diskEntry, snap *Shard) {
+	werr := WriteShard(d.path(k.t, k.p), snap)
+	d.mu.Lock()
+	d.writes++
+	d.snapBytes -= snap.Bytes()
+	if werr != nil {
+		e.writing = false
+		e.rewrite = false
+		if d.ioErr == nil {
+			d.ioErr = fmt.Errorf("storage: write back shard (%d,%d): %w", k.t, k.p, werr)
+		}
+		d.mu.Unlock()
+		return
+	}
+	if e.rewrite {
+		e.rewrite = false
+		if e.refs == 0 {
+			// Newer state was released while the older snapshot was being
+			// written; chain the next write (keeping e.writing) so writes of
+			// this shard stay ordered.
+			d.startWrite(k, e)
+			return
+		}
+		// Revived since: its next Release will write.
+		e.writing = false
+		d.mu.Unlock()
+		return
+	}
+	e.writing = false
+	if e.refs == 0 {
+		delete(d.cache, k)
+	}
+	d.mu.Unlock()
+}
+
+// Drain blocks until every background load and write-back has completed and
+// returns the first asynchronous write error, if any. The caller must not
+// issue concurrent Prefetch/Release calls while draining.
+func (d *DiskStore) Drain() error {
+	d.pending.Wait()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ioErr
+}
+
+// IOStats reports cumulative shard loads (disk reads or lazy inits) and
+// shard writes, for tests and throughput accounting.
+func (d *DiskStore) IOStats() (loads, writes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.loads, d.writes
+}
+
+// Flush implements Store: wait for pending I/O, then persist every resident
+// shard, keeping all of them cached (the interface's checkpointing
+// contract — prefetched shards and warm cache entries survive). A
+// successful Flush also clears — and thereby retries — earlier asynchronous
+// write-back failures: a failed write-back keeps its shard resident, so
+// rewriting everything resident re-covers exactly the shards whose write
+// was lost.
+func (d *DiskStore) Flush() error {
+	d.pending.Wait()
+	type item struct {
+		k shardKey
+		e *diskEntry
+	}
+	d.mu.Lock()
+	d.ioErr = nil
+	items := make([]item, 0, len(d.cache))
+	for k, e := range d.cache {
+		if e.shard != nil {
+			items = append(items, item{k, e})
+		}
+	}
+	d.mu.Unlock()
+	for _, it := range items {
+		if err := WriteShard(d.path(it.k.t, it.k.p), it.e.shard); err != nil {
+			d.mu.Lock()
+			if d.ioErr == nil {
+				d.ioErr = fmt.Errorf("storage: flush shard (%d,%d): %w", it.k.t, it.k.p, err)
+			}
+			d.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// ResidentBytes implements Store. Shards being prefetched count once
+// loaded; shards awaiting write-back and the in-flight write snapshots
+// count too — all genuinely occupy memory, and the pipeline's extra
+// transient footprint should be visible to the §5.4.2 accounting rather
+// than hidden.
+func (d *DiskStore) ResidentBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	total := d.snapBytes
+	for _, e := range d.cache {
+		if e.shard != nil {
+			total += e.shard.Bytes()
+		}
+	}
+	return total
+}
+
+// Close implements Store: persist everything still resident and reject
+// further background work.
+func (d *DiskStore) Close() error {
+	err := d.Flush()
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"pbg/internal/graph"
@@ -143,6 +144,10 @@ func TestDiskStoreSwapsToDisk(t *testing.T) {
 	if err := st.Release(0, 2); err != nil {
 		t.Fatal(err)
 	}
+	// The write-back is asynchronous; drain it before observing eviction.
+	if err := st.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	// Evicted: resident bytes drop to zero and the file exists.
 	if st.ResidentBytes() != 0 {
 		t.Fatalf("resident bytes %d after eviction", st.ResidentBytes())
@@ -174,6 +179,9 @@ func TestDiskStoreRefCounting(t *testing.T) {
 		t.Fatal("shard evicted while still referenced")
 	}
 	st.Release(0, 0)
+	if err := st.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	if st.ResidentBytes() != 0 {
 		t.Fatal("shard not evicted at refcount zero")
 	}
@@ -270,6 +278,127 @@ func TestRelationsRoundTrip(t *testing.T) {
 	}
 	if got.Params[0][1] != 2 || got.Acc[1][0] != 0.4 {
 		t.Fatal("values lost")
+	}
+}
+
+// TestDiskStoreConcurrentAcquireRelease pins the write-back race: a Release
+// that evicts must never let a concurrent Acquire observe a stale file or
+// the temp-rename window. Each goroutine owns one embedding cell and bumps
+// it once per iteration; any stale read surfaces as a lost increment.
+func TestDiskStoreConcurrentAcquireRelease(t *testing.T) {
+	schema := graph.MustSchema(
+		[]graph.EntityType{{Name: "node", Count: 64, NumPartitions: 2}},
+		[]graph.RelationType{{Name: "r", SourceType: "node", DestType: "node", Operator: "identity"}},
+	)
+	dir := t.TempDir()
+	st, err := NewDiskStore(dir, schema, 4, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const iters = 150
+	// Zero the counter cells (Init fills them with random values).
+	for part := 0; part < 2; part++ {
+		sh, err := st.Acquire(0, part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := 0; w < workers; w++ {
+			sh.Row(w)[0] = 0
+		}
+		if err := st.Release(0, part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := w % 2
+			for i := 0; i < iters; i++ {
+				if i%3 == w%3 {
+					// Interleave hints for both partitions: prefetches must
+					// coexist with concurrent Acquire/Release traffic.
+					st.Prefetch(0, (part+i)%2)
+				}
+				sh, err := st.Acquire(0, part)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				sh.Row(w)[0]++ // cell owned by this goroutine
+				if err := st.Release(0, part); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		sh, err := st.Acquire(0, w%2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sh.Row(w)[0]; got != iters {
+			t.Fatalf("worker %d cell = %v, want %v (lost updates through write-back race)", w, got, iters)
+		}
+		if err := st.Release(0, w%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskStorePrefetch checks the Prefetch contract: the hint loads the
+// shard in the background, a later Acquire returns exactly the data it would
+// have loaded itself, and no double-load can fork the shard into two copies.
+func TestDiskStorePrefetch(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDiskStore(dir, testSchema(t), 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persist a recognisable shard, then evict it.
+	sh, _ := st.Acquire(0, 1)
+	sh.Row(2)[0] = 99
+	if err := st.Release(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st.Prefetch(0, 1)
+	st.Prefetch(0, 1) // repeated hints must not double-load
+	got, err := st.Acquire(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Row(2)[0] != 99 {
+		t.Fatalf("prefetched shard lost state: %v", got.Row(2)[0])
+	}
+	// The prefetched copy and a second Acquire must alias the same shard.
+	again, _ := st.Acquire(0, 1)
+	if again != got {
+		t.Fatal("Acquire after prefetch returned a different shard copy")
+	}
+	st.Release(0, 1)
+	st.Release(0, 1)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loads, writes := st.IOStats()
+	if loads < 2 || writes < 1 {
+		t.Fatalf("unexpected IO stats: loads=%d writes=%d", loads, writes)
 	}
 }
 
