@@ -58,12 +58,13 @@ func main() {
 		LR: float32(*lr), Seed: *seed,
 	}
 	onEpoch := func(st train.EpochStats) {
-		fmt.Printf("epoch %d: loss/edge %.4f  edges %d  %.2fs  IO %d\n",
-			st.Epoch, st.Loss/float64(st.Edges), st.Edges, st.Duration.Seconds(), st.PartitionIO)
+		fmt.Printf("epoch %d: loss/edge %.4f  edges %d  %.2fs  IO %d  iowait %.0f%%\n",
+			st.Epoch, st.Loss/float64(st.Edges), st.Edges, st.Duration.Seconds(), st.PartitionIO,
+			100*st.IOWait.Seconds()/st.Duration.Seconds())
 	}
 	var m *pbg.Model
 	if *partitions > 1 && *out != "" {
-		m, err = pbg.TrainOnDisk(g, *out, cfg)
+		m, err = pbg.TrainOnDiskWithCallback(g, *out, cfg, onEpoch)
 		if err == nil {
 			fmt.Printf("trained with partition swapping under %s\n", *out)
 		}

@@ -1,0 +1,63 @@
+package train
+
+import (
+	"fmt"
+	"testing"
+
+	"pbg/internal/datagen"
+	"pbg/internal/storage"
+)
+
+// BenchmarkEpochPipeline measures epoch throughput (edges/s) and the IOWait
+// share on a multi-partition DiskStore with the pipelined executor on and
+// off. The graph is sized so shard I/O is a visible fraction of epoch time:
+// many nodes (big shards to serialise) over comparatively few edges.
+func BenchmarkEpochPipeline(b *testing.B) {
+	nodes, degree, dim := 24_000, 3, 64
+	if testing.Short() {
+		nodes, degree, dim = 4_000, 2, 16
+	}
+	for _, off := range []bool{false, true} {
+		name := "on"
+		if off {
+			name = "off"
+		}
+		b.Run(fmt.Sprintf("pipeline=%s", name), func(b *testing.B) {
+			g, err := datagen.Social(datagen.SocialConfig{
+				Nodes: nodes, AvgOutDegree: degree, NumPartitions: 8, Seed: 11,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := storage.NewDiskStore(b.TempDir(), g.Schema, dim, 7, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			tr, err := New(g, store, Config{
+				Dim: dim, Seed: 3, Workers: 2, UniformNegs: 10, ChunkSize: 10,
+				PipelineOff: off,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var edges int
+			var ioWait, total float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := tr.TrainEpoch()
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges += st.Edges
+				ioWait += st.IOWait.Seconds()
+				total += st.Duration.Seconds()
+			}
+			b.StopTimer()
+			if total > 0 {
+				b.ReportMetric(float64(edges)/total, "edges/s")
+				b.ReportMetric(100*ioWait/total, "iowait%")
+			}
+		})
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package train
+
+// raceDetectorEnabled reports whether this test binary was built with -race.
+// HOGWILD training (lock-free, multi-worker) races on embedding rows by
+// design — the benign races of Recht et al. 2011 — so those tests skip under
+// the detector; the striped-lock mode is race-clean and covered instead.
+const raceDetectorEnabled = true

@@ -59,6 +59,14 @@ type Config struct {
 	Reciprocal bool
 	// BucketOrder: "inside_out" (default), "sequential", "random", "chained".
 	BucketOrder string
+	// PipelineOff disables the pipelined epoch executor: buckets then swap
+	// their partitions in and out serially (the pre-pipeline behaviour),
+	// which is the baseline the EpochStats.IOWait numbers are judged
+	// against. Default off (pipeline enabled).
+	PipelineOff bool
+	// Lookahead is how many buckets ahead the pipelined executor issues
+	// shard prefetches while the current bucket trains. Default 1.
+	Lookahead int
 	// StratumParts N > 1 splits each bucket's edges into N parts and sweeps
 	// the buckets N times per epoch ('stratum losses', Gemulla et al. 2011;
 	// §4.1 footnote 3).
@@ -109,6 +117,9 @@ func (c Config) withDefaults() Config {
 	if c.StratumParts == 0 {
 		c.StratumParts = 1
 	}
+	if c.Lookahead == 0 {
+		c.Lookahead = 1
+	}
 	if c.InitScale == 0 {
 		c.InitScale = 1
 	}
@@ -124,6 +135,13 @@ type EpochStats struct {
 	PartitionIO   int // partition loads (swap-ins) this epoch
 	PeakResident  int64
 	BucketsActive int
+	// IOWait is how long the epoch thread stalled on shard acquire/release
+	// I/O at bucket transitions; with the pipelined executor most loads and
+	// write-backs overlap training, so IOWait shrinks toward zero while the
+	// serial (PipelineOff) baseline pays the full swap cost here.
+	IOWait time.Duration
+	// Compute is the time spent inside bucket training (HOGWILD workers).
+	Compute time.Duration
 }
 
 // Trainer owns the training state for one graph.
@@ -146,6 +164,16 @@ type Trainer struct {
 	nDst    int
 	edges   *graph.EdgeList // bucket-sorted copy of the training edges
 
+	// relSrc/relDst hold each relation's source/destination entity type
+	// index, hoisted out of the hot path (EntityTypeIndex is a name scan).
+	relSrc []int
+	relDst []int
+
+	// workerStates[w] is worker w's reusable scratch (workspace, gradient
+	// buffers, gather buffers, relation grouping); allocating it once per
+	// trainer keeps the per-bucket hot path allocation free.
+	workerStates []*workerState
+
 	// Striped row locks for the non-HOGWILD mode.
 	stripes []sync.Mutex
 
@@ -153,6 +181,12 @@ type Trainer struct {
 
 	epochsRun int
 	peakBytes int64
+
+	// ioWaitNs/computeNs accumulate bucket-transition stall time and
+	// in-bucket training time; TrainEpoch reports the per-epoch deltas.
+	// Only the epoch thread touches them.
+	ioWaitNs  int64
+	computeNs int64
 }
 
 // New prepares a trainer over the given training graph and store. The store
@@ -186,9 +220,21 @@ func New(g *graph.Graph, store storage.Store, cfg Config) (*Trainer, error) {
 		}
 	}
 
+	t.relSrc = make([]int, len(g.Schema.Relations))
+	t.relDst = make([]int, len(g.Schema.Relations))
+	for r, rel := range g.Schema.Relations {
+		t.relSrc[r] = g.Schema.EntityTypeIndex(rel.SourceType)
+		t.relDst[r] = g.Schema.EntityTypeIndex(rel.DestType)
+	}
+
 	degrees := graph.ComputeDegrees(g)
 	t.samplers = sampling.NewSet(g.Schema, degrees, cfg.NegAlpha)
 	t.rowOpt = optim.NewRowAdagrad(cfg.LR)
+
+	t.workerStates = make([]*workerState, cfg.Workers)
+	for w := range t.workerStates {
+		t.workerStates[w] = t.newWorkerState()
+	}
 
 	// Bucket-sort a copy of the edges.
 	t.nSrc, t.nDst = bucketDims(g.Schema)
@@ -288,11 +334,16 @@ func (t *Trainer) Train(onEpoch func(EpochStats)) ([]EpochStats, error) {
 	return out, nil
 }
 
-// TrainEpoch runs one pass over all buckets.
-func (t *Trainer) TrainEpoch() (EpochStats, error) {
-	start := time.Now()
-	stats := EpochStats{Epoch: t.epochsRun}
-	held := map[int]bool{}
+// epochItem is one unit of epoch work: a stratum slice of one bucket.
+type epochItem struct {
+	b      partition.Bucket
+	lo, hi int
+}
+
+// epochItems flattens the stratum × bucket iteration into the ordered work
+// list the (pipelined) epoch executor runs and looks ahead over.
+func (t *Trainer) epochItems() []epochItem {
+	var items []epochItem
 	for stratum := 0; stratum < t.cfg.StratumParts; stratum++ {
 		for _, b := range t.buckets {
 			rg := t.ranges[b.Index(t.nDst)]
@@ -303,29 +354,174 @@ func (t *Trainer) TrainEpoch() (EpochStats, error) {
 			if hi <= lo {
 				continue
 			}
-			// Count swap-ins the way SwapCount does: partitions not
-			// currently held must be loaded.
-			need := map[int]bool{}
-			for _, p := range b.Parts() {
-				need[p] = true
-				if !held[p] {
-					stats.PartitionIO++
-				}
-			}
-			held = need
-			loss, edges, err := t.trainBucket(b, lo, hi)
-			if err != nil {
-				return stats, err
-			}
-			stats.Loss += loss
-			stats.Edges += edges
-			stats.BucketsActive++
+			items = append(items, epochItem{b: b, lo: lo, hi: hi})
 		}
 	}
-	t.epochsRun++
+	return items
+}
+
+// countSwapIns updates the PartitionIO stat the way partition.SwapCount
+// does: partitions the previous bucket did not hold must be swapped in.
+func countSwapIns(b partition.Bucket, held map[int]bool, stats *EpochStats) map[int]bool {
+	need := map[int]bool{}
+	for _, p := range b.Parts() {
+		need[p] = true
+		if !held[p] {
+			stats.PartitionIO++
+		}
+	}
+	return need
+}
+
+// TrainEpoch runs one pass over all buckets. Unless cfg.PipelineOff is set
+// it uses the pipelined executor: while a bucket trains, the shards the next
+// cfg.Lookahead buckets need are prefetched by the store's background I/O
+// and no-longer-needed shards are written back asynchronously, so bucket
+// transitions cost only the I/O that failed to overlap (reported as
+// stats.IOWait).
+func (t *Trainer) TrainEpoch() (EpochStats, error) {
+	start := time.Now()
+	stats := EpochStats{Epoch: t.epochsRun}
+	ioBase, computeBase := t.ioWaitNs, t.computeNs
+	items := t.epochItems()
+	var err error
+	if t.cfg.PipelineOff {
+		err = t.runEpochSerial(items, &stats)
+	} else {
+		err = t.runEpochPipelined(items, &stats)
+	}
+	stats.IOWait = time.Duration(t.ioWaitNs - ioBase)
+	stats.Compute = time.Duration(t.computeNs - computeBase)
 	stats.Duration = time.Since(start)
 	stats.PeakResident = t.peakBytes
+	if err != nil {
+		return stats, err
+	}
+	t.epochsRun++
 	return stats, nil
+}
+
+// runEpochSerial is the pre-pipeline baseline: each bucket acquires its
+// shards, trains, and synchronously releases them before the next bucket
+// starts.
+func (t *Trainer) runEpochSerial(items []epochItem, stats *EpochStats) error {
+	held := map[int]bool{}
+	for _, it := range items {
+		held = countSwapIns(it.b, held, stats)
+		loss, edges, err := t.trainBucket(it.b, it.lo, it.hi)
+		if err != nil {
+			return err
+		}
+		stats.Loss += loss
+		stats.Edges += edges
+		stats.BucketsActive++
+	}
+	return nil
+}
+
+// runEpochPipelined overlaps partition I/O with training (§4.1 made real):
+// shards shared with the next bucket simply stay held (their refcount never
+// reaches zero, so a shared partition never bounces through disk), shards
+// the next buckets need are prefetched while the current bucket trains, and
+// shards the new bucket no longer needs are released first — their
+// asynchronous write-back overlaps the loads of the bucket's new shards.
+func (t *Trainer) runEpochPipelined(items []epochItem, stats *EpochStats) error {
+	held := map[shardKey]shardRef{}
+	heldParts := map[int]bool{}
+	// prefetched tracks hints not yet consumed by an Acquire; on a normal
+	// epoch end every lookahead target gets acquired and the set drains, but
+	// an abort must evict the leftovers (see discardPrefetched).
+	prefetched := map[shardKey]bool{}
+	releaseHeld := func() error {
+		t0 := time.Now()
+		var first error
+		for k := range held {
+			if err := t.store.Release(k.t, k.p); err != nil && first == nil {
+				first = err
+			}
+			delete(held, k)
+		}
+		if len(prefetched) > 0 {
+			keys := make([]shardKey, 0, len(prefetched))
+			for k := range prefetched {
+				keys = append(keys, k)
+				delete(prefetched, k)
+			}
+			t.discardPrefetched(keys)
+		}
+		t.ioWaitNs += time.Since(t0).Nanoseconds()
+		return first
+	}
+	for i, it := range items {
+		heldParts = countSwapIns(it.b, heldParts, stats)
+		keys := t.bucketShardKeys(it.b)
+		need := make(map[shardKey]bool, len(keys))
+		for _, k := range keys {
+			need[k] = true
+		}
+		t0 := time.Now()
+		// Drop shards this bucket no longer needs first: their write-back
+		// runs in the background while the loads below wait.
+		for k := range held {
+			if !need[k] {
+				delete(held, k)
+				if err := t.store.Release(k.t, k.p); err != nil {
+					releaseHeld()
+					return err
+				}
+			}
+		}
+		// Hint every missing shard before acquiring any, so the loads the
+		// prefetcher has not already finished proceed in parallel.
+		for _, k := range keys {
+			if _, ok := held[k]; !ok {
+				t.store.Prefetch(k.t, k.p)
+				prefetched[k] = true
+			}
+		}
+		shards := make(map[shardKey]shardRef, len(keys))
+		for _, k := range keys {
+			if ref, ok := held[k]; ok {
+				shards[k] = ref
+				continue
+			}
+			sh, err := t.store.Acquire(k.t, k.p)
+			if err != nil {
+				delete(prefetched, k) // its entry died with the failed load
+				releaseHeld()
+				return err
+			}
+			delete(prefetched, k)
+			ref := shardRef{shard: sh, ent: t.g.Schema.Entities[k.t]}
+			held[k] = ref
+			shards[k] = ref
+		}
+		t.ioWaitNs += time.Since(t0).Nanoseconds()
+		if rb := t.store.ResidentBytes(); rb > t.peakBytes {
+			t.peakBytes = rb
+		}
+		// Hint the shards the next buckets will need; the store loads them
+		// on its background pool while this bucket trains.
+		for l := 1; l <= t.cfg.Lookahead && i+l < len(items); l++ {
+			for _, k := range t.bucketShardKeys(items[i+l].b) {
+				if _, ok := held[k]; !ok {
+					t.store.Prefetch(k.t, k.p)
+					prefetched[k] = true
+				}
+			}
+		}
+		t1 := time.Now()
+		loss, edges, err := t.runBucket(it.b, it.lo, it.hi, shards)
+		t.computeNs += time.Since(t1).Nanoseconds()
+		if err != nil {
+			releaseHeld()
+			return err
+		}
+		stats.Loss += loss
+		stats.Edges += edges
+		stats.BucketsActive++
+	}
+	return releaseHeld()
 }
 
 func stratumSlice(rg graph.BucketRange, k, n int) (lo, hi int) {
@@ -347,36 +543,71 @@ func (s shardRef) acc(id int32) *float32  { return &s.shard.Acc[s.ent.LocalOffse
 
 type shardKey struct{ t, p int }
 
-// acquireBucketShards loads every (entity type, partition) combination the
-// bucket's relations can touch.
-func (t *Trainer) acquireBucketShards(b partition.Bucket) (map[shardKey]shardRef, error) {
-	out := map[shardKey]shardRef{}
-	acquire := func(typeName string, part int) error {
-		ti := t.g.Schema.EntityTypeIndex(typeName)
-		ent := t.g.Schema.Entities[ti]
-		if !ent.Partitioned() {
+// bucketShardKeys returns every (entity type, partition) combination the
+// bucket's relations can touch, deduplicated, using the precomputed
+// per-relation type indices.
+func (t *Trainer) bucketShardKeys(b partition.Bucket) []shardKey {
+	keys := make([]shardKey, 0, 2*len(t.g.Schema.Relations))
+	add := func(ti, part int) {
+		if !t.g.Schema.Entities[ti].Partitioned() {
 			part = 0
 		}
 		k := shardKey{ti, part}
-		if _, ok := out[k]; ok {
-			return nil
+		for _, have := range keys {
+			if have == k {
+				return
+			}
 		}
-		sh, err := t.store.Acquire(ti, part)
-		if err != nil {
-			return err
-		}
-		out[k] = shardRef{shard: sh, ent: ent}
-		return nil
+		keys = append(keys, k)
 	}
-	for _, rel := range t.g.Schema.Relations {
-		if err := acquire(rel.SourceType, b.P1); err != nil {
+	for r := range t.g.Schema.Relations {
+		add(t.relSrc[r], b.P1)
+		add(t.relDst[r], b.P2)
+	}
+	return keys
+}
+
+// acquireBucketShards loads every shard the bucket needs. Unless the
+// pipeline is disabled, all keys are hinted via Prefetch before the first
+// Acquire, so stores with background I/O (DiskStore, the distributed remote
+// store) load them in parallel instead of serialising one read or RPC round
+// trip per shard. With PipelineOff the acquires stay strictly sequential —
+// the honest serial baseline.
+func (t *Trainer) acquireBucketShards(b partition.Bucket) (map[shardKey]shardRef, error) {
+	keys := t.bucketShardKeys(b)
+	if !t.cfg.PipelineOff {
+		for _, k := range keys {
+			t.store.Prefetch(k.t, k.p)
+		}
+	}
+	out := make(map[shardKey]shardRef, len(keys))
+	for i, k := range keys {
+		sh, err := t.store.Acquire(k.t, k.p)
+		if err != nil {
+			t.releaseBucketShards(out)
+			t.discardPrefetched(keys[i:])
 			return nil, err
 		}
-		if err := acquire(rel.DestType, b.P2); err != nil {
-			return nil, err
-		}
+		out[k] = shardRef{shard: sh, ent: t.g.Schema.Entities[k.t]}
 	}
 	return out, nil
+}
+
+// discardPrefetched evicts shards that were hinted via Prefetch but never
+// acquired, after an abort. A refs==0 cache entry can otherwise never be
+// released, and on the distributed remote store a stale cached shard would
+// mask updates other trainers make once the bucket lease is abandoned.
+// Acquire-then-Release is best effort: if the prefetch itself failed, the
+// entry is already gone and Acquire's error is ignored.
+func (t *Trainer) discardPrefetched(keys []shardKey) {
+	if t.cfg.PipelineOff {
+		return
+	}
+	for _, k := range keys {
+		if _, err := t.store.Acquire(k.t, k.p); err == nil {
+			_ = t.store.Release(k.t, k.p)
+		}
+	}
 }
 
 func (t *Trainer) releaseBucketShards(m map[shardKey]shardRef) error {
@@ -390,9 +621,14 @@ func (t *Trainer) releaseBucketShards(m map[shardKey]shardRef) error {
 }
 
 // trainBucket trains edges [lo, hi) of the bucket-sorted edge list, which
-// all belong to bucket b.
+// all belong to bucket b, acquiring and releasing the bucket's shards
+// around the work. The pipelined executor manages shard lifetimes itself
+// and calls runBucket directly; this self-contained form serves the serial
+// baseline and the distributed node's per-lease TrainBucket.
 func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edges int, err error) {
+	t0 := time.Now()
 	shards, err := t.acquireBucketShards(b)
+	t.ioWaitNs += time.Since(t0).Nanoseconds()
 	if err != nil {
 		return 0, 0, err
 	}
@@ -400,7 +636,10 @@ func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edg
 	// write-back that publishes this bucket's updates, and dropping its
 	// failure would mark the bucket done while its training is lost.
 	defer func() {
-		if rerr := t.releaseBucketShards(shards); rerr != nil && err == nil {
+		t1 := time.Now()
+		rerr := t.releaseBucketShards(shards)
+		t.ioWaitNs += time.Since(t1).Nanoseconds()
+		if rerr != nil && err == nil {
 			loss, edges, err = 0, 0, rerr
 		}
 	}()
@@ -409,7 +648,15 @@ func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edg
 	if rb := t.store.ResidentBytes(); rb > t.peakBytes {
 		t.peakBytes = rb
 	}
+	t2 := time.Now()
+	loss, edges, err = t.runBucket(b, lo, hi, shards)
+	t.computeNs += time.Since(t2).Nanoseconds()
+	return loss, edges, err
+}
 
+// runBucket trains edges [lo, hi) of bucket b on the HOGWILD worker pool,
+// using shards already acquired by the caller.
+func (t *Trainer) runBucket(b partition.Bucket, lo, hi int, shards map[shardKey]shardRef) (loss float64, edges int, err error) {
 	n := hi - lo
 	perm := make([]int, n)
 	t.root.Perm(perm)
@@ -430,7 +677,7 @@ func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edg
 			defer wg.Done()
 			wlo := w * n / workers
 			whi := (w + 1) * n / workers
-			losses[w], errs[w] = t.workerLoop(b, shards, perm[wlo:whi], lo, r)
+			losses[w], errs[w] = t.workerLoop(t.workerStates[w], b, shards, perm[wlo:whi], lo, r)
 		}(w, t.root.Split())
 	}
 	wg.Wait()
@@ -443,45 +690,83 @@ func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edg
 	return loss, n, nil
 }
 
+// workerState is one HOGWILD worker's reusable scratch. It persists across
+// chunks, relations, buckets, and epochs, so the steady-state worker loop
+// allocates nothing.
+type workerState struct {
+	ws *model.Workspace
+	// grads[rel] holds relation rel's gradient buffers (operator parameter
+	// counts differ between relations, so these cannot be shared).
+	grads map[int32]*model.ChunkGrad
+	// byRel groups the worker's edge indices by relation; the slices are
+	// truncated and refilled each bucket.
+	byRel   map[int32][]int
+	inBuf   model.ChunkInput
+	srcBuf  []float32
+	dstBuf  []float32
+	usrcBuf []float32
+	udstBuf []float32
+	// fwdCopy/revCopy hold the striped-lock mode's per-chunk snapshot of the
+	// relation parameters (see workerLoop).
+	fwdCopy []float32
+	revCopy []float32
+}
+
+func (t *Trainer) newWorkerState() *workerState {
+	c, u, d := t.cfg.ChunkSize, t.cfg.UniformNegs, t.cfg.Dim
+	return &workerState{
+		grads: make(map[int32]*model.ChunkGrad),
+		byRel: make(map[int32][]int),
+		inBuf: model.ChunkInput{
+			SrcIDs: make([]int32, c), DstIDs: make([]int32, c),
+			USrcIDs: make([]int32, u), UDstIDs: make([]int32, u),
+		},
+		srcBuf:  make([]float32, c*d),
+		dstBuf:  make([]float32, c*d),
+		usrcBuf: make([]float32, u*d),
+		udstBuf: make([]float32, u*d),
+	}
+}
+
 // workerLoop is one HOGWILD worker: it groups its edge indices by relation
 // (batches share a relation, §4.3 last paragraph) and processes chunks.
-func (t *Trainer) workerLoop(b partition.Bucket, shards map[shardKey]shardRef, idx []int, base int, r *rng.RNG) (float64, error) {
+func (t *Trainer) workerLoop(st *workerState, b partition.Bucket, shards map[shardKey]shardRef, idx []int, base int, r *rng.RNG) (float64, error) {
 	c := t.cfg.ChunkSize
 	u := t.cfg.UniformNegs
 	d := t.cfg.Dim
 
-	byRel := map[int32][]int{}
+	byRel := st.byRel
+	for rel := range byRel {
+		byRel[rel] = byRel[rel][:0]
+	}
 	for _, i := range idx {
 		rel := t.edges.Rels[base+i]
 		byRel[rel] = append(byRel[rel], base+i)
 	}
 
 	in := &model.ChunkInput{}
-	inBuf := model.ChunkInput{
-		SrcIDs: make([]int32, c), DstIDs: make([]int32, c),
-		USrcIDs: make([]int32, u), UDstIDs: make([]int32, u),
-	}
-	srcBuf := make([]float32, c*d)
-	dstBuf := make([]float32, c*d)
-	usrcBuf := make([]float32, u*d)
-	udstBuf := make([]float32, u*d)
 
 	var total float64
-	var ws *model.Workspace
 	for rel, list := range byRel {
+		if len(list) == 0 {
+			continue
+		}
 		sc := t.scorers[rel]
-		if ws == nil {
+		if st.ws == nil {
 			// Workspace shape depends only on (chunk, negatives, dim), so it
 			// is shared across relations; gradient buffers are per relation
 			// because operator parameter counts differ.
-			ws = sc.NewWorkspace(c, u)
+			st.ws = sc.NewWorkspace(c, u)
 		}
-		grad := sc.NewChunkGrad(c, u)
+		ws := st.ws
+		grad, ok := st.grads[rel]
+		if !ok {
+			grad = sc.NewChunkGrad(c, u)
+			st.grads[rel] = grad
+		}
 		relCfg := t.g.Schema.Relations[rel]
-		srcType := t.g.Schema.EntityTypeIndex(relCfg.SourceType)
-		dstType := t.g.Schema.EntityTypeIndex(relCfg.DestType)
-		srcRef := t.lookupRef(shards, srcType, b.P1)
-		dstRef := t.lookupRef(shards, dstType, b.P2)
+		srcRef := t.lookupRef(shards, t.relSrc[int(rel)], b.P1)
+		dstRef := t.lookupRef(shards, t.relDst[int(rel)], b.P2)
 		srcSmp := t.samplers.ForRelationSource(rel, b.P1)
 		dstSmp := t.samplers.ForRelationDest(rel, b.P2)
 		fwd, rev := sc.SplitRelParams(t.relParams[rel])
@@ -493,23 +778,36 @@ func (t *Trainer) workerLoop(b partition.Bucket, shards map[shardKey]shardRef, i
 			}
 			cc := chunkHi - chunkLo
 			// Gather.
-			in.SrcIDs = inBuf.SrcIDs[:cc]
-			in.DstIDs = inBuf.DstIDs[:cc]
-			in.USrcIDs = inBuf.USrcIDs[:u]
-			in.UDstIDs = inBuf.UDstIDs[:u]
+			in.SrcIDs = st.inBuf.SrcIDs[:cc]
+			in.DstIDs = st.inBuf.DstIDs[:cc]
+			in.USrcIDs = st.inBuf.USrcIDs[:u]
+			in.UDstIDs = st.inBuf.UDstIDs[:u]
 			for k, ei := range list[chunkLo:chunkHi] {
 				in.SrcIDs[k] = t.edges.Srcs[ei]
 				in.DstIDs[k] = t.edges.Dsts[ei]
 			}
 			sampling.SampleMany(srcSmp, r, in.USrcIDs)
 			sampling.SampleMany(dstSmp, r, in.UDstIDs)
-			in.Src = gather(srcBuf, srcRef, in.SrcIDs, d)
-			in.Dst = gather(dstBuf, dstRef, in.DstIDs, d)
-			in.USrc = gather(usrcBuf, srcRef, in.USrcIDs, d)
-			in.UDst = gather(udstBuf, dstRef, in.UDstIDs, d)
+			in.Src = t.gather(st.srcBuf, srcRef, in.SrcIDs, d)
+			in.Dst = t.gather(st.dstBuf, dstRef, in.DstIDs, d)
+			in.USrc = t.gather(st.usrcBuf, srcRef, in.USrcIDs, d)
+			in.UDst = t.gather(st.udstBuf, dstRef, in.UDstIDs, d)
 			in.RelWeight = relCfg.EffectiveWeight()
 			in.RelFwd = fwd
 			in.RelRev = rev
+			if t.cfg.HogwildOff && (len(fwd) > 0 || len(rev) > 0) {
+				// Striped-lock mode must not read parameters another worker
+				// is updating under relMu: score from a snapshot taken under
+				// the lock (the updates themselves still hit the live block).
+				t.relMu[rel].Lock()
+				st.fwdCopy = append(st.fwdCopy[:0], fwd...)
+				st.revCopy = append(st.revCopy[:0], rev...)
+				t.relMu[rel].Unlock()
+				in.RelFwd = st.fwdCopy
+				if rev != nil {
+					in.RelRev = st.revCopy
+				}
+			}
 
 			sc.ScoreChunk(ws, in, grad)
 			total += grad.Loss
@@ -543,9 +841,21 @@ func (t *Trainer) lookupRef(shards map[shardKey]shardRef, typeIdx, part int) sha
 	return ref
 }
 
-// gather copies the embedding rows of ids into a matrix backed by buf.
-func gather(buf []float32, ref shardRef, ids []int32, d int) vec.Matrix {
+// gather copies the embedding rows of ids into a matrix backed by buf. In
+// striped-lock (HogwildOff) mode each row is copied under its stripe so the
+// read cannot race a concurrent applyRows update; in HOGWILD mode the copy
+// is lock-free and any torn read is the paper's benign race.
+func (t *Trainer) gather(buf []float32, ref shardRef, ids []int32, d int) vec.Matrix {
 	m := vec.MatrixFrom(buf[:len(ids)*d], len(ids), d)
+	if t.cfg.HogwildOff {
+		for k, id := range ids {
+			mu := &t.stripes[rowStripe(ref.shard.TypeIndex, id)]
+			mu.Lock()
+			copy(m.Row(k), ref.row(id))
+			mu.Unlock()
+		}
+		return m
+	}
 	for k, id := range ids {
 		copy(m.Row(k), ref.row(id))
 	}

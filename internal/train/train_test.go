@@ -81,7 +81,10 @@ func TestTrainPartitionedMatchesUnpartitionedShape(t *testing.T) {
 }
 
 func TestTrainWithDiskStoreSwapping(t *testing.T) {
-	g := smallSocial(t, 4)
+	// 8 partitions: the pipelined executor may transiently hold the current
+	// bucket's two partitions plus prefetched and writing-back shards, so a
+	// finer grid is needed to observe peak resident < full model.
+	g := smallSocial(t, 8)
 	dir := t.TempDir()
 	store, err := storage.NewDiskStore(dir, g.Schema, 16, 7, 1)
 	if err != nil {
@@ -100,15 +103,86 @@ func TestTrainWithDiskStoreSwapping(t *testing.T) {
 	if last >= first {
 		t.Fatalf("disk-backed loss did not decrease: %v → %v", first, last)
 	}
-	// At any instant at most 2 partitions should have been resident; peak
-	// resident bytes must be well under the full model.
+	// Swapping must keep the peak resident footprint well under the full
+	// model even counting the pipeline's prefetch/write-back transients.
 	full := int64(400 * (16 + 1) * 4)
 	if stats[len(stats)-1].PeakResident >= full {
 		t.Fatalf("peak resident %d not smaller than full model %d", stats[len(stats)-1].PeakResident, full)
 	}
 }
 
+// TestTrainPipelinedDiskStoreRace exercises the pipelined executor end to
+// end on a multi-partition DiskStore with several workers in striped-lock
+// mode; run under -race it checks the prefetch/write-back machinery never
+// lets a background I/O goroutine touch buffers a trainer is mutating.
+func TestTrainPipelinedDiskStoreRace(t *testing.T) {
+	g := smallSocial(t, 4)
+	dir := t.TempDir()
+	store, err := storage.NewDiskStore(dir, g.Schema, 16, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(g, store, Config{
+		Dim: 16, Epochs: 3, Seed: 3, Workers: 4, HogwildOff: true, Lookahead: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tr.Train(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	first := stats[0].Loss / float64(stats[0].Edges)
+	last := stats[len(stats)-1].Loss / float64(stats[len(stats)-1].Edges)
+	if last >= first {
+		t.Fatalf("pipelined loss did not decrease: %v → %v", first, last)
+	}
+	for _, s := range stats {
+		if s.Edges != g.Edges.Len() {
+			t.Fatalf("epoch %d trained %d edges, want %d", s.Epoch, s.Edges, g.Edges.Len())
+		}
+	}
+}
+
+// TestPipelineMatchesSerialLoss pins the pipelined executor to the serial
+// baseline: same seed, same store type, same per-epoch loss and edge count
+// (shard lifetimes change, the math must not).
+func TestPipelineMatchesSerialLoss(t *testing.T) {
+	run := func(off bool) []EpochStats {
+		g := smallSocial(t, 4)
+		dir := t.TempDir()
+		store, err := storage.NewDiskStore(dir, g.Schema, 16, 7, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		tr, err := New(g, store, Config{Dim: 16, Epochs: 2, Seed: 3, PipelineOff: off})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := tr.Train(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	pipe := run(false)
+	serial := run(true)
+	for e := range pipe {
+		if pipe[e].Loss != serial[e].Loss || pipe[e].Edges != serial[e].Edges {
+			t.Fatalf("epoch %d diverged: pipeline (%v, %d) vs serial (%v, %d)",
+				e, pipe[e].Loss, pipe[e].Edges, serial[e].Loss, serial[e].Edges)
+		}
+	}
+}
+
 func TestTrainMultiWorkerHogwild(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("HOGWILD races on embedding rows by design; see TestTrainPipelinedDiskStoreRace for the race-clean striped mode")
+	}
 	g := smallSocial(t, 1)
 	tr := newTrainer(t, g, Config{Epochs: 3, Workers: 4, Seed: 5})
 	stats, err := tr.Train(nil)

@@ -87,13 +87,20 @@ func TrainWithCallback(g *Graph, cfg TrainConfig, onEpoch func(train.EpochStats)
 }
 
 // TrainOnDisk learns embeddings with partition swapping to dir — the §4.1
-// regime that bounds memory to two partitions.
+// regime that bounds memory to two partitions (plus the pipelined
+// executor's prefetch/write-back transients).
 func TrainOnDisk(g *Graph, dir string, cfg TrainConfig) (*Model, error) {
+	return TrainOnDiskWithCallback(g, dir, cfg, nil)
+}
+
+// TrainOnDiskWithCallback is TrainOnDisk with a per-epoch hook (learning
+// curves, IOWait/Compute overlap monitoring).
+func TrainOnDiskWithCallback(g *Graph, dir string, cfg TrainConfig, onEpoch func(train.EpochStats)) (*Model, error) {
 	store, err := storage.NewDiskStore(dir, g.Schema, cfg.Dim, cfg.Seed+1, initScale(cfg))
 	if err != nil {
 		return nil, err
 	}
-	return trainOn(g, store, cfg, nil)
+	return trainOn(g, store, cfg, onEpoch)
 }
 
 func initScale(cfg TrainConfig) float32 {
@@ -110,7 +117,21 @@ func trainOn(g *Graph, store storage.Store, cfg TrainConfig, onEpoch func(train.
 	}
 	stats, err := tr.Train(onEpoch)
 	if err != nil {
+		// Bound the background write-back goroutines' lifetime even on
+		// failure, so a caller that deletes the output dir of a dead run
+		// cannot race in-flight shard writes.
+		if d, ok := store.(interface{ Drain() error }); ok {
+			_ = d.Drain()
+		}
 		return nil, err
+	}
+	// Stores with asynchronous write-back (DiskStore) may still have the
+	// final epoch's evictions in flight; wait for them so a nil error means
+	// the trained shards really are on disk.
+	if d, ok := store.(interface{ Drain() error }); ok {
+		if err := d.Drain(); err != nil {
+			return nil, err
+		}
 	}
 	return &Model{trainer: tr, graph: g, store: store, stats: stats}, nil
 }
@@ -276,17 +297,25 @@ func (m *Model) Checkpoint(dir string) error {
 			}
 			dst, err := ds.Acquire(ti, p)
 			if err != nil {
+				m.store.Release(ti, p) // don't pin the live shard on failure
 				return err
 			}
 			copy(dst.Embs, src.Embs)
 			copy(dst.Acc, src.Acc)
 			if err := ds.Release(ti, p); err != nil {
+				m.store.Release(ti, p)
 				return err
 			}
 			if err := m.store.Release(ti, p); err != nil {
 				return err
 			}
 		}
+	}
+	// Release only schedules asynchronous write-backs; Close drains them and
+	// surfaces any write error, so a returned nil really means the
+	// checkpoint is complete on disk.
+	if err := ds.Close(); err != nil {
+		return err
 	}
 	rs := &storage.RelationState{}
 	for r := range m.graph.Schema.Relations {
