@@ -25,6 +25,7 @@ import (
 	"pbg/internal/dist"
 	"pbg/internal/graph"
 	"pbg/internal/partition"
+	"pbg/internal/storage"
 	"pbg/internal/train"
 )
 
@@ -44,8 +45,15 @@ func main() {
 		pservs  = flag.String("partition-servers", "", "comma-separated partition server addresses (trainer)")
 		qservs  = flag.String("param-servers", "", "comma-separated parameter server addresses (trainer)")
 		seed    = flag.Uint64("seed", 1, "graph seed (must match across nodes)")
+		budget  = flag.String("mem-budget", "", "trainer checkout-cache budget, e.g. 256MB (default unbounded)")
+		maxLook = flag.Int("max-lookahead", 0, "adaptive lookahead cap for the trainer's executor (0 = default)")
 	)
 	flag.Parse()
+
+	memBudget, err := storage.ParseByteSize(*budget)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	switch *role {
 	case "lock":
@@ -68,7 +76,10 @@ func main() {
 			LockAddr:       *lock,
 			PartitionAddrs: dist.SplitAddrs(*pservs),
 			ParamAddrs:     dist.SplitAddrs(*qservs),
-			Train:          train.Config{Dim: *dim, Workers: *workers, Seed: dist.RankSeed(*seed, *rank)},
+			Train: train.Config{
+				Dim: *dim, Workers: *workers, Seed: dist.RankSeed(*seed, *rank),
+				MaxLookahead: *maxLook, MemBudgetBytes: memBudget,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)

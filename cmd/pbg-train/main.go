@@ -40,8 +40,16 @@ func main() {
 		lr         = flag.Float64("lr", 0.1, "Adagrad learning rate")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		out        = flag.String("out", "", "checkpoint directory (also used for partition swapping when P > 1)")
+		memBudget  = flag.String("mem-budget", "", "resident shard memory budget, e.g. 256MB or 1.5GiB (default unbounded)")
+		lookahead  = flag.Int("lookahead", 0, "initial pipelined-prefetch depth (0 = default 1)")
+		maxLook    = flag.Int("max-lookahead", 0, "adaptive lookahead cap (0 = default; set equal to -lookahead to pin)")
 	)
 	flag.Parse()
+
+	budget, err := storage.ParseByteSize(*memBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	g, err := buildGraph(*synthetic, *edgesPath, *nodes, *relations, *avgDeg, *entities, *partitions)
 	if err != nil {
@@ -56,11 +64,17 @@ func main() {
 		Dim: *dim, Epochs: *epochs, Workers: *workers,
 		Comparator: *comparator, Loss: *lossName,
 		LR: float32(*lr), Seed: *seed,
+		Lookahead: *lookahead, MaxLookahead: *maxLook, MemBudgetBytes: budget,
 	}
 	onEpoch := func(st train.EpochStats) {
-		fmt.Printf("epoch %d: loss/edge %.4f  edges %d  %.2fs  IO %d  iowait %.0f%%\n",
+		line := fmt.Sprintf("epoch %d: loss/edge %.4f  edges %d  %.2fs  IO %d  iowait %.0f%%",
 			st.Epoch, st.Loss/float64(st.Edges), st.Edges, st.Duration.Seconds(), st.PartitionIO,
 			100*st.IOWait.Seconds()/st.Duration.Seconds())
+		if st.LookaheadAction != "" {
+			line += fmt.Sprintf("  lookahead %d (%s)  resident %.1fMB",
+				st.Lookahead, st.LookaheadAction, float64(st.ResidentHighWater)/(1<<20))
+		}
+		fmt.Println(line)
 	}
 	var m *pbg.Model
 	if *partitions > 1 && *out != "" {

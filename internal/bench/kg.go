@@ -155,9 +155,22 @@ func partitionSweep(s Scale, id, title string, build func(parts int) (*graph.Gra
 			}
 			store = ds
 		}
-		tr, err := train.New(trainG, store, train.Config{
-			Dim: s.Dim, Epochs: s.Epochs, Workers: s.Workers, Seed: s.Seed,
-		})
+		cfg := train.Config{Dim: s.Dim, Epochs: s.Epochs, Workers: s.Workers, Seed: s.Seed}
+		if parts > 1 {
+			// Bound the partitioned runs to their bucket working set (two
+			// shards, plus one in-flight shard of allowance): the §5.4.2
+			// memory column then reports the budget the shard cache actually
+			// enforces, not whatever prefetch or write-back transients happen
+			// to be in flight when the peak is sampled — which is also what
+			// makes the "memory falls with partitions" shape deterministic at
+			// this toy scale.
+			var shards int64
+			for ti := range g.Schema.Entities {
+				shards += storage.ProjectedShardBytes(g.Schema, s.Dim, ti, 0)
+			}
+			cfg.MemBudgetBytes = 3 * shards
+		}
+		tr, err := train.New(trainG, store, cfg)
 		if err != nil {
 			return nil, err
 		}

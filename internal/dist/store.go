@@ -34,11 +34,29 @@ type remoteStore struct {
 
 	mu    sync.Mutex
 	cache map[partKey]*storeEntry
+	// maxResident is the same admission budget storage.DiskStore enforces,
+	// plumbed here so a node's checkout cache obeys the node's memory
+	// envelope: prefetch hints that do not fit are dropped, and a must-have
+	// Acquire first evicts fetched-but-never-acquired shards (which were
+	// never modified, so they drop without a Put). 0 = unbounded.
+	maxResident int64
+	useSeq      int64
+	sheds       int64
+	forcedEvict int64
 }
 
 type storeEntry struct {
 	shard *storage.Shard
 	refs  int
+	// size is the projected shard footprint while the fetch is in flight
+	// (known from the schema), so admission charges fetches up front.
+	size int64
+	// lastUse orders never-acquired prefetched shards for LRU eviction.
+	lastUse int64
+	// waiters counts Acquires blocked on ready (or re-locking just after
+	// it closed); eviction skips entries a waiter is about to claim, so a
+	// just-landed prefetch cannot be evicted into a redundant re-fetch.
+	waiters int
 	// ready is non-nil while a fetch (Prefetch or first Acquire) is in
 	// flight; shard/err are set before it closes and immutable afterwards.
 	ready chan struct{}
@@ -76,6 +94,56 @@ func (s *remoteStore) client(t, p int) *rpc.Client {
 	return s.clients[serverIndex(t, p, len(s.clients))]
 }
 
+// SetMaxResidentBytes sets the checkout-cache admission budget (0 =
+// unbounded). train.New plumbs Config.MemBudgetBytes here, the same way it
+// does for a local DiskStore.
+func (s *remoteStore) SetMaxResidentBytes(n int64) {
+	s.mu.Lock()
+	s.maxResident = n
+	s.mu.Unlock()
+}
+
+// shardBytes is the exact in-memory size shard (t,p) will occupy once
+// fetched, known from the schema without a round trip.
+func (s *remoteStore) shardBytes(t, p int) int64 {
+	return storage.ProjectedShardBytes(s.schema, s.dim, t, p)
+}
+
+// accountedLocked charges resident shards plus in-flight fetch projections
+// against the budget.
+func (s *remoteStore) accountedLocked() int64 {
+	var total int64
+	for _, e := range s.cache {
+		if e.shard != nil {
+			total += e.shard.Bytes()
+		} else {
+			total += e.size
+		}
+	}
+	return total
+}
+
+// evictUnusedLocked drops the least-recently-fetched shard that was
+// prefetched but never acquired. Such shards are unmodified, so no Put is
+// needed — the partition server's copy is still canonical.
+func (s *remoteStore) evictUnusedLocked() bool {
+	var victimK partKey
+	var victim *storeEntry
+	for k, e := range s.cache {
+		if e.refs == 0 && e.ready == nil && e.waiters == 0 {
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimK, victim = k, e
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(s.cache, victimK)
+	s.forcedEvict++
+	return true
+}
+
 // get performs the Get RPC for shard (t,p). Called without the lock held so
 // fetches of different shards overlap on the wire.
 func (s *remoteStore) get(t, p int) (*storage.Shard, error) {
@@ -102,6 +170,10 @@ func (s *remoteStore) fetch(k partKey, e *storeEntry) {
 	e.shard, e.err = sh, err
 	if err != nil {
 		delete(s.cache, k)
+	} else {
+		e.size = sh.Bytes()
+		s.useSeq++
+		e.lastUse = s.useSeq
 	}
 	close(e.ready)
 	e.ready = nil
@@ -120,7 +192,15 @@ func (s *remoteStore) Prefetch(t, p int) {
 		s.mu.Unlock()
 		return
 	}
-	e := &storeEntry{ready: make(chan struct{})}
+	size := s.shardBytes(t, p)
+	if s.maxResident > 0 && s.accountedLocked()+size > s.maxResident {
+		// Hints are advisory: the budget drops them rather than evicting
+		// for them (mirroring storage.DiskStore's admission rule).
+		s.sheds++
+		s.mu.Unlock()
+		return
+	}
+	e := &storeEntry{ready: make(chan struct{}), size: size}
 	s.cache[k] = e
 	s.mu.Unlock()
 	go s.fetch(k, e)
@@ -136,7 +216,15 @@ func (s *remoteStore) Acquire(t, p int) (*storage.Shard, error) {
 	for {
 		e, ok := s.cache[k]
 		if !ok {
-			e = &storeEntry{ready: make(chan struct{})}
+			size := s.shardBytes(t, p)
+			if s.maxResident > 0 {
+				// A must-have evicts never-acquired prefetched shards until
+				// the fetch fits; when everything left is referenced it
+				// proceeds over budget (training cannot progress otherwise).
+				for s.accountedLocked()+size > s.maxResident && s.evictUnusedLocked() {
+				}
+			}
+			e = &storeEntry{ready: make(chan struct{}), size: size}
 			s.cache[k] = e
 			s.mu.Unlock()
 			s.fetch(k, e) // synchronous fetch in this goroutine
@@ -148,12 +236,15 @@ func (s *remoteStore) Acquire(t, p int) (*storage.Shard, error) {
 		}
 		if e.ready != nil {
 			ready := e.ready
+			e.waiters++
 			s.mu.Unlock()
 			<-ready
+			s.mu.Lock()
+			e.waiters--
 			if e.err != nil {
+				s.mu.Unlock()
 				return nil, e.err
 			}
-			s.mu.Lock()
 			continue
 		}
 		e.refs++

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,6 +15,13 @@ import (
 // eviction; four covers buckets whose relations span several entity types.
 const diskIOWorkers = 4
 
+// errShed marks a prefetch that the memory budget cancelled while it sat in
+// the pool queue. An Acquire that joined the load observes it and retries as
+// a must-have cache miss instead of surfacing an error: shedding a hint must
+// never fail a real acquisition (and must never strand the joined waiter on
+// a deleted loading entry).
+var errShed = errors.New("storage: prefetch shed by memory budget")
+
 // diskEntry is one cached shard together with its I/O state. An entry moves
 // through three states, always under the store lock:
 //
@@ -25,12 +33,39 @@ const diskIOWorkers = 4
 //	          Acquire revives the live in-memory shard immediately — it
 //	          neither re-reads a stale or half-renamed file nor waits for
 //	          the disk write. The entry stays cached until the rename lands.
+//	          (Under a memory budget with no headroom for the snapshot copy,
+//	          the write uses the live buffers instead and a revival waits
+//	          for the disk write via writeDone.)
 type diskEntry struct {
 	shard *Shard
 	refs  int
 
+	// size is the projected in-memory footprint while the shard is still
+	// loading (shard == nil); admission accounting charges loads up front so
+	// a burst of prefetch hints cannot overshoot the budget. Shard shapes
+	// are known from the schema, so the projection is exact.
+	size int64
+
 	ready   chan struct{} // non-nil while a load is in flight
 	loadErr error         // set before ready closes; immutable afterwards
+	// waiters counts Acquires blocked on ready (or re-locking just after it
+	// closed); eviction skips entries a waiter is about to claim.
+	waiters int
+	// queued marks a prefetch whose pool load has not started yet; only
+	// queued loads can be shed (a running disk read cannot be cancelled).
+	queued bool
+	// shedded tells the pool goroutine its entry was cancelled and removed
+	// from the cache; it must abandon the load without touching the map.
+	shedded bool
+
+	// clean marks a resident shard that is bit-identical to its disk copy
+	// (or to its deterministic lazy init): a prefetched-but-unacquired load,
+	// or — under a budget — a shard retained in cache after its write-back
+	// landed. Clean entries evict without any I/O. Acquire clears the flag.
+	clean bool
+	// lastUse is the LRU stamp (a monotonic release counter, not wall
+	// time): bumped when refs drop to zero and when a prefetch load lands.
+	lastUse int64
 
 	writing bool
 	// rewrite marks that refs hit zero again while a write was in flight;
@@ -43,6 +78,28 @@ type diskEntry struct {
 	// revives the entry waits on it (a memcpy, not a disk write) before
 	// handing out the buffers for mutation.
 	snapDone chan struct{}
+	// writeDone is non-nil while a write-back of the live buffers is in
+	// flight (the budget had no headroom for a snapshot copy); a revival
+	// waits for the whole disk write before the caller may mutate.
+	writeDone chan struct{}
+}
+
+// IOStats is DiskStore's cumulative I/O and memory-budget accounting.
+type IOStats struct {
+	// Loads counts shard loads (disk reads or deterministic lazy inits).
+	Loads int64
+	// Writes counts shard write-backs (including Flush rewrites).
+	Writes int64
+	// Admits counts loads that passed the admission check while a budget
+	// was set (prefetch hints and must-have Acquires both count).
+	Admits int64
+	// PrefetchSheds counts prefetch hints the budget refused: dropped at
+	// Prefetch time, or shed from the pool queue before their load started.
+	PrefetchSheds int64
+	// ForcedEvicts counts unreferenced clean shards evicted to make room
+	// for a must-have Acquire (LRU by last release; no I/O needed — the
+	// disk copy is current).
+	ForcedEvicts int64
 }
 
 // DiskStore persists shards under dir and keeps only referenced (or
@@ -53,6 +110,15 @@ type diskEntry struct {
 // pipelining). Write-backs double-buffer: each writes a snapshot taken at
 // eviction, costing one transient shard copy per in-flight write (bounded
 // by the pool size) in exchange for re-Acquires never stalling on the disk.
+//
+// SetMaxResidentBytes turns the store into a memory-budgeted shard cache:
+// admission accounting (resident shards + in-flight load projections +
+// write snapshots) is enforced against the budget — prefetch hints that
+// don't fit are dropped or shed, a must-have Acquire evicts unreferenced
+// shards LRU-first (waiting for in-flight write-backs when that is the only
+// way to free memory), and shards whose write-back landed are retained as
+// clean cache entries while they fit. Only a must-have whose working set
+// simply cannot fit runs over budget.
 type DiskStore struct {
 	schema *graph.Schema
 	dim    int
@@ -60,16 +126,24 @@ type DiskStore struct {
 	scale  float32
 	dir    string
 
-	mu        sync.Mutex
-	cache     map[shardKey]*diskEntry
-	ioErr     error // first async write-back failure; sticky
-	closed    bool
-	loads     int64
-	writes    int64
-	snapBytes int64 // memory held by in-flight write-back snapshots
+	mu          sync.Mutex
+	cond        *sync.Cond // signalled when in-flight I/O frees accounted memory
+	cache       map[shardKey]*diskEntry
+	ioErr       error // first async write-back failure; sticky
+	closed      bool
+	maxResident int64 // admission budget; 0 = unbounded (no retention either)
+	useSeq      int64 // LRU clock for lastUse stamps
+	snapBytes   int64 // memory held by in-flight write-back snapshots
+
+	loads, writes, admits, sheds, forcedEvicts int64
 
 	sem     chan struct{} // bounds concurrent background I/O
 	pending sync.WaitGroup
+
+	// testHookPrefetchLoad, when set before any Prefetch, runs in the pool
+	// goroutine just before a queued prefetch re-checks admission — tests
+	// use it to pin the join-then-shed interleaving deterministically.
+	testHookPrefetchLoad func(k shardKey)
 }
 
 // NewDiskStore creates a disk-backed store rooted at dir.
@@ -77,7 +151,7 @@ func NewDiskStore(dir string, schema *graph.Schema, dim int, seed uint64, initSc
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &DiskStore{
+	d := &DiskStore{
 		schema: schema,
 		dim:    dim,
 		seed:   seed,
@@ -85,11 +159,36 @@ func NewDiskStore(dir string, schema *graph.Schema, dim int, seed uint64, initSc
 		dir:    dir,
 		cache:  make(map[shardKey]*diskEntry),
 		sem:    make(chan struct{}, diskIOWorkers),
-	}, nil
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d, nil
+}
+
+// SetMaxResidentBytes sets the admission budget (0 disables budgeting and
+// restores evict-on-write-back). The budget bounds resident shards plus
+// in-flight load projections plus write-back snapshots; see the type doc
+// for the enforcement rules.
+func (d *DiskStore) SetMaxResidentBytes(n int64) {
+	d.mu.Lock()
+	d.maxResident = n
+	d.mu.Unlock()
+}
+
+// MaxResidentBytes reports the current admission budget (0 = unbounded).
+func (d *DiskStore) MaxResidentBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxResident
 }
 
 func (d *DiskStore) path(t, p int) string {
 	return filepath.Join(d.dir, fmt.Sprintf("shard_t%d_p%d.pbg", t, p))
+}
+
+// shardBytes is the exact in-memory size shard (t,p) will have once loaded,
+// known from the schema without touching disk.
+func (d *DiskStore) shardBytes(t, p int) int64 {
+	return ProjectedShardBytes(d.schema, d.dim, t, p)
 }
 
 // newShard lazily initialises shard (t,p) with the deterministic per-shard
@@ -112,10 +211,33 @@ func (d *DiskStore) submit(fn func()) {
 	}()
 }
 
+// accountedLocked is the admission measure: actual resident shard bytes,
+// plus the projected bytes of loads still in flight, plus in-flight write
+// snapshots. It upper-bounds ResidentBytes, so enforcing the budget here
+// enforces it on real memory too.
+func (d *DiskStore) accountedLocked() int64 {
+	total := d.snapBytes
+	for _, e := range d.cache {
+		if e.shard != nil {
+			total += e.shard.Bytes()
+		} else {
+			total += e.size
+		}
+	}
+	return total
+}
+
+func (d *DiskStore) bumpUseLocked() int64 {
+	d.useSeq++
+	return d.useSeq
+}
+
 // Prefetch implements Store: it starts loading shard (t,p) on the background
 // pool so a later Acquire finds it resident. It never blocks on I/O, takes
 // no reference, and is a no-op when the shard is already cached, loading, or
 // mid-write-back (an Acquire revives the latter without touching disk).
+// Under a memory budget a hint that does not fit is dropped — hints are
+// advisory, so the budget sheds them rather than evicting for them.
 func (d *DiskStore) Prefetch(t, p int) {
 	k := shardKey{t, p}
 	d.mu.Lock()
@@ -127,10 +249,62 @@ func (d *DiskStore) Prefetch(t, p int) {
 		d.mu.Unlock()
 		return
 	}
-	e := &diskEntry{ready: make(chan struct{})}
+	size := d.shardBytes(t, p)
+	if d.maxResident > 0 {
+		if d.accountedLocked()+size > d.maxResident {
+			d.sheds++
+			d.mu.Unlock()
+			return
+		}
+		d.admits++
+	}
+	e := &diskEntry{ready: make(chan struct{}), size: size, queued: true}
 	d.cache[k] = e
 	d.mu.Unlock()
-	d.submit(func() { d.load(k, e) })
+	d.submit(func() { d.prefetchLoad(k, e) })
+}
+
+// prefetchLoad runs an admitted hint on the pool. Admission is re-checked
+// when the load actually starts: must-have Acquires may have consumed the
+// budget while the hint sat in the queue, in which case the hint is shed —
+// even if an Acquire has already joined it (the waiter observes errShed and
+// retries as a must-have miss, so no loading entry is ever stranded).
+func (d *DiskStore) prefetchLoad(k shardKey, e *diskEntry) {
+	d.mu.Lock()
+	hook := d.testHookPrefetchLoad
+	d.mu.Unlock()
+	if hook != nil {
+		hook(k)
+	}
+	d.mu.Lock()
+	if e.shedded {
+		d.mu.Unlock()
+		return
+	}
+	e.queued = false
+	if d.maxResident > 0 && d.accountedLocked() > d.maxResident {
+		d.shedLocked(k, e)
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	d.load(k, e, true)
+}
+
+// shedLocked cancels a queued prefetch: the entry leaves the cache, waiters
+// are woken with errShed (they retry as must-have misses), and the pool
+// goroutine — if it has not run yet — abandons the load via the shedded
+// flag.
+func (d *DiskStore) shedLocked(k shardKey, e *diskEntry) {
+	e.shedded = true
+	e.loadErr = errShed
+	delete(d.cache, k)
+	d.sheds++
+	if e.ready != nil {
+		close(e.ready)
+		e.ready = nil
+	}
+	d.cond.Broadcast()
 }
 
 // load reads or initialises shard k and publishes the result into e. On
@@ -139,7 +313,7 @@ func (d *DiskStore) Prefetch(t, p int) {
 // happens when the shard file verifiably does not exist — any other stat
 // failure is an error, because re-initialising over a real-but-unreadable
 // file would silently discard that partition's training on write-back.
-func (d *DiskStore) load(k shardKey, e *diskEntry) {
+func (d *DiskStore) load(k shardKey, e *diskEntry, prefetch bool) {
 	var sh *Shard
 	var err error
 	if _, serr := os.Stat(d.path(k.t, k.p)); serr == nil {
@@ -153,10 +327,20 @@ func (d *DiskStore) load(k shardKey, e *diskEntry) {
 	e.shard, e.loadErr = sh, err
 	if err != nil {
 		delete(d.cache, k)
+	} else {
+		e.size = sh.Bytes()
+		if prefetch && d.maxResident > 0 {
+			// Until an Acquire hands it out, a prefetched shard is identical
+			// to its disk copy (or its deterministic lazy init): evictable
+			// with no write should a must-have need the memory.
+			e.clean = true
+			e.lastUse = d.bumpUseLocked()
+		}
 	}
 	d.loads++
 	close(e.ready)
 	e.ready = nil
+	d.cond.Broadcast()
 	d.mu.Unlock()
 }
 
@@ -164,17 +348,28 @@ func (d *DiskStore) load(k shardKey, e *diskEntry) {
 // a prefetched-but-still-loading entry waits for the background load rather
 // than issuing a second read; a hit on an entry whose write-back is in
 // flight revives the live in-memory shard immediately (the writer works on
-// a snapshot) and never re-reads the file.
+// a snapshot) and never re-reads the file. Under a memory budget a miss is
+// a must-have: makeRoomLocked evicts unreferenced shards (LRU by last
+// release) and waits for in-flight write-backs until the load fits — and
+// only runs over budget when the remaining bytes all belong to referenced
+// shards.
 func (d *DiskStore) Acquire(t, p int) (*Shard, error) {
 	k := shardKey{t, p}
 	d.mu.Lock()
 	for {
 		e, ok := d.cache[k]
 		if !ok {
-			e = &diskEntry{ready: make(chan struct{})}
+			size := d.shardBytes(t, p)
+			if d.maxResident > 0 {
+				if waited := d.makeRoomLocked(size); waited {
+					continue // the cache changed while we waited; re-check
+				}
+				d.admits++
+			}
+			e = &diskEntry{ready: make(chan struct{}), size: size}
 			d.cache[k] = e
 			d.mu.Unlock()
-			d.load(k, e) // synchronous load in this goroutine
+			d.load(k, e, false) // synchronous load in this goroutine
 			if e.loadErr != nil {
 				return nil, e.loadErr
 			}
@@ -183,15 +378,22 @@ func (d *DiskStore) Acquire(t, p int) (*Shard, error) {
 		}
 		if e.ready != nil { // load in flight (prefetch or racing Acquire)
 			ready := e.ready
+			e.waiters++
 			d.mu.Unlock()
 			<-ready
+			d.mu.Lock()
+			e.waiters--
+			if e.loadErr == errShed {
+				continue // the budget shed the hint we joined; retry as a miss
+			}
 			if e.loadErr != nil {
+				d.mu.Unlock()
 				return nil, e.loadErr
 			}
-			d.mu.Lock()
 			continue
 		}
 		e.refs++
+		e.clean = false
 		sh := e.shard
 		if e.snapDone != nil {
 			// A write-back is snapshotting these buffers outside the lock;
@@ -202,9 +404,94 @@ func (d *DiskStore) Acquire(t, p int) (*Shard, error) {
 			<-done
 			return sh, nil
 		}
+		if e.writeDone != nil {
+			// The budget had no headroom for a snapshot, so the write-back
+			// holds the live buffers; wait for the disk write itself.
+			done := e.writeDone
+			d.mu.Unlock()
+			<-done
+			return sh, nil
+		}
 		d.mu.Unlock()
 		return sh, nil
 	}
+}
+
+// makeRoomLocked frees accounted memory until `need` more bytes fit inside
+// the budget, in escalating steps: shed queued prefetch hints, evict clean
+// unreferenced shards (LRU by last release; no I/O), then wait for
+// in-flight write-backs, snapshot copies, or pure-prefetch loads to land
+// and retry. It returns waited=true when it released the lock (the caller
+// must re-check the cache). When every remaining byte belongs to referenced
+// shards or joined loads it gives up and lets the must-have proceed over
+// budget — training cannot make progress otherwise.
+func (d *DiskStore) makeRoomLocked(need int64) (waited bool) {
+	for d.accountedLocked()+need > d.maxResident {
+		if d.shedQueuedLocked() {
+			continue
+		}
+		if d.evictCleanLocked() {
+			continue
+		}
+		if d.waitableLocked() {
+			d.cond.Wait()
+			waited = true
+			continue
+		}
+		break
+	}
+	return waited
+}
+
+// shedQueuedLocked cancels one queued prefetch nobody has joined yet.
+func (d *DiskStore) shedQueuedLocked() bool {
+	for k, e := range d.cache {
+		if e.queued && !e.shedded && e.waiters == 0 {
+			d.shedLocked(k, e)
+			return true
+		}
+	}
+	return false
+}
+
+// evictCleanLocked drops the least-recently-used unreferenced clean shard;
+// its disk copy (or deterministic lazy init) is current, so no write is
+// needed. Entries a waiter is about to claim are skipped.
+func (d *DiskStore) evictCleanLocked() bool {
+	var victimK shardKey
+	var victim *diskEntry
+	for k, e := range d.cache {
+		if e.clean && e.refs == 0 && e.ready == nil && !e.writing && e.waiters == 0 {
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimK, victim = k, e
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(d.cache, victimK)
+	d.forcedEvicts++
+	d.cond.Broadcast()
+	return true
+}
+
+// waitableLocked reports whether any in-flight I/O will free accounted
+// memory when it lands: a write snapshot, a write-back of an unreferenced
+// shard, or a pure-prefetch load (which becomes clean, hence evictable).
+func (d *DiskStore) waitableLocked() bool {
+	if d.snapBytes > 0 {
+		return true
+	}
+	for _, e := range d.cache {
+		if e.writing && e.refs == 0 {
+			return true
+		}
+		if e.ready != nil && e.waiters == 0 && !e.queued && !e.shedded {
+			return true
+		}
+	}
+	return false
 }
 
 // snapshot returns a private copy of s. Write-backs serialise snapshots
@@ -221,8 +508,10 @@ func (s *Shard) snapshot() *Shard {
 
 // Release implements Store: the last reference schedules an asynchronous
 // write-back of a snapshot on the I/O pool and the shard is evicted once
-// the write lands. Because write-backs are asynchronous, a failure surfaces
-// as the (sticky) error of a later Release, Flush, Drain, or Close call.
+// the write lands (retained as a clean cache entry instead when a budget
+// is set and it fits). Because write-backs are asynchronous, a failure
+// surfaces as the (sticky) error of a later Release, Flush, Drain, or
+// Close call.
 func (d *DiskStore) Release(t, p int) error {
 	k := shardKey{t, p}
 	d.mu.Lock()
@@ -237,6 +526,7 @@ func (d *DiskStore) Release(t, p int) error {
 		d.mu.Unlock()
 		return err
 	}
+	e.lastUse = d.bumpUseLocked()
 	if e.writing {
 		// A write of an older snapshot is still in flight; chain a rewrite
 		// behind it rather than racing two renames to the same file.
@@ -254,36 +544,59 @@ func (d *DiskStore) Release(t, p int) error {
 // multi-MB snapshot copy runs outside the store lock — guarded by
 // e.snapDone so only a revival of this very shard waits for the memcpy —
 // keeping evictions from convoying every other Acquire/Prefetch/Release.
+// When a budget is set and the snapshot copy itself would not fit, the
+// write uses the live buffers instead (refs is zero, so nothing mutates
+// them) and a revival waits for the disk write via writeDone.
 func (d *DiskStore) startWrite(k shardKey, e *diskEntry) {
+	if d.maxResident > 0 && d.accountedLocked()+e.shard.Bytes() > d.maxResident {
+		e.writeDone = make(chan struct{})
+		live := e.shard
+		d.mu.Unlock()
+		d.submit(func() { d.writeBack(k, e, live, true) })
+		return
+	}
 	e.snapDone = make(chan struct{})
 	sh := e.shard
+	// Reserve the snapshot's bytes before releasing the lock: an admission
+	// check racing the memcpy must already see them, or a prefetch admitted
+	// during the copy would push real memory past the budget.
+	d.snapBytes += sh.Bytes()
 	d.mu.Unlock()
 	snap := sh.snapshot()
 	d.mu.Lock()
 	close(e.snapDone)
 	e.snapDone = nil
-	d.snapBytes += snap.Bytes()
 	d.mu.Unlock()
-	d.submit(func() { d.writeBack(k, e, snap) })
+	d.submit(func() { d.writeBack(k, e, snap, false) })
 }
 
-// writeBack persists a snapshot of e's shard and evicts the entry unless an
-// Acquire revived it while the write was in flight. On failure the entry
-// stays resident: the in-memory shard is the only current copy, so evicting
-// it would lose the bucket's training — the sticky error surfaces on the
-// next Release or Drain, while Flush and Close retry the write (clearing
-// the error if the retry lands).
-func (d *DiskStore) writeBack(k shardKey, e *diskEntry, snap *Shard) {
+// writeBack persists a snapshot of e's shard (or the live buffers when
+// live) and evicts the entry unless an Acquire revived it while the write
+// was in flight. On failure the entry stays resident: the in-memory shard
+// is the only current copy, so evicting it would lose the bucket's training
+// — the sticky error surfaces on the next Release or Drain, while Flush and
+// Close retry the write (clearing the error if the retry lands).
+func (d *DiskStore) writeBack(k shardKey, e *diskEntry, snap *Shard, live bool) {
 	werr := WriteShard(d.path(k.t, k.p), snap)
 	d.mu.Lock()
 	d.writes++
-	d.snapBytes -= snap.Bytes()
+	if !live {
+		d.snapBytes -= snap.Bytes()
+	}
+	finish := func() {
+		if e.writeDone != nil {
+			close(e.writeDone)
+			e.writeDone = nil
+		}
+		d.cond.Broadcast()
+	}
 	if werr != nil {
 		e.writing = false
 		e.rewrite = false
 		if d.ioErr == nil {
 			d.ioErr = fmt.Errorf("storage: write back shard (%d,%d): %w", k.t, k.p, werr)
 		}
+		finish()
 		d.mu.Unlock()
 		return
 	}
@@ -292,19 +605,31 @@ func (d *DiskStore) writeBack(k shardKey, e *diskEntry, snap *Shard) {
 		if e.refs == 0 {
 			// Newer state was released while the older snapshot was being
 			// written; chain the next write (keeping e.writing) so writes of
-			// this shard stay ordered.
+			// this shard stay ordered. No revival can be waiting on writeDone
+			// here: a reviver holds a reference, which contradicts refs == 0.
+			finish()
 			d.startWrite(k, e)
 			return
 		}
 		// Revived since: its next Release will write.
 		e.writing = false
+		finish()
 		d.mu.Unlock()
 		return
 	}
 	e.writing = false
 	if e.refs == 0 {
-		delete(d.cache, k)
+		if d.maxResident > 0 && d.accountedLocked() <= d.maxResident {
+			// Budgeted mode keeps the written shard as a clean cache entry —
+			// the budget is a shard cache, not just a ceiling — so a
+			// re-Acquire skips the disk read. Eviction reclaims it LRU-first
+			// whenever a must-have needs the memory.
+			e.clean = true
+		} else {
+			delete(d.cache, k)
+		}
 	}
+	finish()
 	d.mu.Unlock()
 }
 
@@ -318,12 +643,18 @@ func (d *DiskStore) Drain() error {
 	return d.ioErr
 }
 
-// IOStats reports cumulative shard loads (disk reads or lazy inits) and
-// shard writes, for tests and throughput accounting.
-func (d *DiskStore) IOStats() (loads, writes int64) {
+// IOStats reports cumulative I/O counts and memory-budget decisions, for
+// tests and throughput accounting.
+func (d *DiskStore) IOStats() IOStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.loads, d.writes
+	return IOStats{
+		Loads:         d.loads,
+		Writes:        d.writes,
+		Admits:        d.admits,
+		PrefetchSheds: d.sheds,
+		ForcedEvicts:  d.forcedEvicts,
+	}
 }
 
 // Flush implements Store: wait for pending I/O, then persist every resident
@@ -343,7 +674,10 @@ func (d *DiskStore) Flush() error {
 	d.ioErr = nil
 	items := make([]item, 0, len(d.cache))
 	for k, e := range d.cache {
-		if e.shard != nil {
+		// Clean retained entries are bit-identical to their disk copy (or
+		// to their deterministic lazy init), so rewriting them on every
+		// checkpoint would be O(warm cache) of disk writes for nothing.
+		if e.shard != nil && !(e.clean && e.refs == 0) {
 			items = append(items, item{k, e})
 		}
 	}

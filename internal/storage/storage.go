@@ -17,12 +17,47 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"pbg/internal/graph"
 	"pbg/internal/rng"
 )
+
+// ParseByteSize parses a human-readable byte count for memory-budget flags:
+// a plain number is bytes, and the binary suffixes K/KB/KiB, M/MB/MiB,
+// G/GB/GiB (case-insensitive, powers of 1024) scale it. "0" or "" means
+// unbounded.
+func ParseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, suf := range []struct {
+		name string
+		mult int64
+	}{
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mult
+			s = strings.TrimSpace(s[:len(s)-len(suf.name)])
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("storage: bad byte size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
 
 // Shard holds the parameters of one partition of one entity type.
 type Shard struct {
@@ -66,6 +101,16 @@ func (s *Shard) Row(i int) []float32 {
 // Bytes returns the approximate in-memory size of the shard.
 func (s *Shard) Bytes() int64 {
 	return int64(len(s.Embs)+len(s.Acc)) * 4
+}
+
+// ProjectedShardBytes is the in-memory size shard (t,p) will occupy once
+// loaded, priced from the schema alone — it must match Shard.Bytes for a
+// shard of that shape (count×dim embeddings plus count Adagrad cells,
+// float32 each). Budget admission, the remote checkout cache, and the
+// lookahead controller's window projections all price shards through this
+// one helper so accounting cannot drift from real memory.
+func ProjectedShardBytes(schema *graph.Schema, dim, t, p int) int64 {
+	return int64(schema.Entities[t].PartitionCount(p)) * int64(dim+1) * 4
 }
 
 const shardMagic = uint32(0x50424753) // "PBGS"

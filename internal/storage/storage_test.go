@@ -396,9 +396,9 @@ func TestDiskStorePrefetch(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	loads, writes := st.IOStats()
-	if loads < 2 || writes < 1 {
-		t.Fatalf("unexpected IO stats: loads=%d writes=%d", loads, writes)
+	io := st.IOStats()
+	if io.Loads < 2 || io.Writes < 1 {
+		t.Fatalf("unexpected IO stats: %+v", io)
 	}
 }
 
@@ -406,5 +406,34 @@ func TestShardBytes(t *testing.T) {
 	sh := NewShard(0, 0, 10, 4)
 	if sh.Bytes() != (40+10)*4 {
 		t.Fatalf("Bytes = %d", sh.Bytes())
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1234", 1234, false},
+		{"64KB", 64 << 10, false},
+		{"64k", 64 << 10, false},
+		{"1.5MiB", 3 << 19, false},
+		{"2G", 2 << 30, false},
+		{"512 MB", 512 << 20, false},
+		{"10B", 10, false},
+		{"-1", 0, true},
+		{"abc", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if c.err != (err != nil) {
+			t.Fatalf("ParseByteSize(%q) err = %v, want err=%v", c.in, err, c.err)
+		}
+		if !c.err && got != c.want {
+			t.Fatalf("ParseByteSize(%q) = %d, want %d", c.in, got, c.want)
+		}
 	}
 }

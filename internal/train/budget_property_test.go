@@ -1,0 +1,119 @@
+package train
+
+// Property coverage for the memory budget (run under -race in CI): across
+// randomized schemas, bucket orders, lookahead depths, and budgets, the
+// store's resident bytes never exceed MaxResidentBytes plus the single
+// in-flight shard allowance, and every acquired shard is eventually
+// released. The invariant is observed two ways at once: a polling goroutine
+// hammering ResidentBytes while epochs run (so transients — prefetch
+// projections, write-back snapshots — cannot hide between samples), and
+// the per-epoch ResidentHighWater the executor records.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"pbg/internal/datagen"
+	"pbg/internal/partition"
+	"pbg/internal/rng"
+	"pbg/internal/storage"
+	"pbg/internal/storage/storetest"
+)
+
+func TestPipelineBudgetInvariantProperty(t *testing.T) {
+	orders := []string{
+		partition.OrderInsideOut, partition.OrderSequential,
+		partition.OrderRandom, partition.OrderChained,
+	}
+	cases := 6
+	if testing.Short() {
+		cases = 3
+	}
+	r := rng.New(99)
+	for i := 0; i < cases; i++ {
+		parts := []int{2, 4, 8}[r.Intn(3)]
+		order := orders[r.Intn(len(orders))]
+		la := 1 + r.Intn(3)
+		maxLa := la + r.Intn(3)
+		const nodes, dim = 240, 8
+		perShard := int64((nodes+parts-1)/parts) * int64(dim+1) * 4
+		// A bucket's working set is two shards; budgets below that would
+		// legitimately run over (referenced shards cannot be evicted), so
+		// randomize from the working set upward. The last case is
+		// unbounded.
+		budget := int64(2+r.Intn(3)) * perShard
+		if i == cases-1 {
+			budget = 0
+		}
+		name := fmt.Sprintf("parts=%d/order=%s/la=%d-%d/budget=%d", parts, order, la, maxLa, budget)
+		t.Run(name, func(t *testing.T) {
+			g, err := datagen.Social(datagen.SocialConfig{
+				Nodes: nodes, AvgOutDegree: 4, NumPartitions: parts, Seed: uint64(31 + i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds, err := storage.NewDiskStore(t.TempDir(), g.Schema, dim, 7, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := storetest.NewPassthrough(ds)
+			tr, err := New(g, st, Config{
+				Dim: dim, Epochs: 2, Seed: uint64(5 + i), Workers: 2, HogwildOff: true,
+				BucketOrder: order, Lookahead: la, MaxLookahead: maxLa,
+				MemBudgetBytes: budget,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			peakCh := make(chan int64, 1)
+			go func() {
+				var peak int64
+				for {
+					select {
+					case <-done:
+						peakCh <- peak
+						return
+					default:
+					}
+					if rb := ds.ResidentBytes(); rb > peak {
+						peak = rb
+					}
+					runtime.Gosched()
+				}
+			}()
+			stats, err := tr.Train(nil)
+			close(done)
+			peak := <-peakCh
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ds.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if budget > 0 {
+				if peak > budget+perShard {
+					t.Fatalf("sampled resident %d exceeds budget %d + one-shard allowance %d", peak, budget, perShard)
+				}
+				for _, s := range stats {
+					if s.ResidentHighWater > budget+perShard {
+						t.Fatalf("epoch %d high-water %d exceeds budget %d + allowance %d",
+							s.Epoch, s.ResidentHighWater, budget, perShard)
+					}
+				}
+			}
+			// No leaks: every acquired shard was released, nothing pending.
+			if err := st.LeakCheck(); err != nil {
+				t.Fatal(err)
+			}
+			if n := st.Outstanding(); n != 0 {
+				t.Fatalf("%d references outstanding after training", n)
+			}
+			if err := ds.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

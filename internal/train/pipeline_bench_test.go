@@ -8,23 +8,25 @@ import (
 	"pbg/internal/storage"
 )
 
-// BenchmarkEpochPipeline measures epoch throughput (edges/s) and the IOWait
-// share on a multi-partition DiskStore with the pipelined executor on and
-// off. The graph is sized so shard I/O is a visible fraction of epoch time:
-// many nodes (big shards to serialise) over comparatively few edges.
+// BenchmarkEpochPipeline measures epoch throughput (edges/s), the IOWait
+// share, and the resident high-water on a multi-partition DiskStore in
+// three modes: the pipelined executor with an unbounded budget ("on"), the
+// serial baseline ("off"), and the adaptive controller under a budget that
+// admits roughly two buckets of shards ("budget") — the configuration the
+// memory-budget acceptance numbers come from. The graph is sized so shard
+// I/O is a visible fraction of epoch time: many nodes (big shards to
+// serialise) over comparatively few edges.
 func BenchmarkEpochPipeline(b *testing.B) {
 	nodes, degree, dim := 24_000, 3, 64
 	if testing.Short() {
 		nodes, degree, dim = 4_000, 2, 16
 	}
-	for _, off := range []bool{false, true} {
-		name := "on"
-		if off {
-			name = "off"
-		}
-		b.Run(fmt.Sprintf("pipeline=%s", name), func(b *testing.B) {
+	const parts = 8
+	perShard := int64((nodes+parts-1)/parts) * int64(dim+1) * 4
+	for _, mode := range []string{"on", "off", "budget"} {
+		b.Run(fmt.Sprintf("pipeline=%s", mode), func(b *testing.B) {
 			g, err := datagen.Social(datagen.SocialConfig{
-				Nodes: nodes, AvgOutDegree: degree, NumPartitions: 8, Seed: 11,
+				Nodes: nodes, AvgOutDegree: degree, NumPartitions: parts, Seed: 11,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -34,15 +36,26 @@ func BenchmarkEpochPipeline(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer store.Close()
-			tr, err := New(g, store, Config{
+			cfg := Config{
 				Dim: dim, Seed: 3, Workers: 2, UniformNegs: 10, ChunkSize: 10,
-				PipelineOff: off,
-			})
+			}
+			switch mode {
+			case "off":
+				cfg.PipelineOff = true
+			case "budget":
+				// ~2 buckets of shards (4 shards) plus the in-flight
+				// allowance; the controller starts at lookahead 1 and may
+				// widen to 3 if the projection fits.
+				cfg.MemBudgetBytes = 5 * perShard
+				cfg.Lookahead, cfg.MaxLookahead = 1, 3
+			}
+			tr, err := New(g, store, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			var edges int
 			var ioWait, total float64
+			var highWater int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				st, err := tr.TrainEpoch()
@@ -52,11 +65,18 @@ func BenchmarkEpochPipeline(b *testing.B) {
 				edges += st.Edges
 				ioWait += st.IOWait.Seconds()
 				total += st.Duration.Seconds()
+				if st.ResidentHighWater > highWater {
+					highWater = st.ResidentHighWater
+				}
 			}
 			b.StopTimer()
 			if total > 0 {
 				b.ReportMetric(float64(edges)/total, "edges/s")
 				b.ReportMetric(100*ioWait/total, "iowait%")
+				b.ReportMetric(float64(highWater)/(1<<20), "residentMB")
+			}
+			if mode == "budget" && highWater > cfg.MemBudgetBytes+perShard {
+				b.Fatalf("resident high-water %d exceeded budget %d + allowance", highWater, cfg.MemBudgetBytes)
 			}
 		})
 	}

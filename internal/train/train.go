@@ -64,9 +64,24 @@ type Config struct {
 	// which is the baseline the EpochStats.IOWait numbers are judged
 	// against. Default off (pipeline enabled).
 	PipelineOff bool
-	// Lookahead is how many buckets ahead the pipelined executor issues
-	// shard prefetches while the current bucket trains. Default 1.
+	// Lookahead is the initial lookahead depth of the pipelined executor:
+	// how many buckets ahead shard prefetches are issued while the current
+	// bucket trains. Between epochs the adaptive controller moves the live
+	// depth within [0, MaxLookahead], widening while measured IOWait stays
+	// high and the projected resident bytes fit the budget, narrowing when
+	// the budget binds. Default 1.
 	Lookahead int
+	// MaxLookahead caps the adaptive controller. Default: max(Lookahead, 4)
+	// when MemBudgetBytes bounds the window, else Lookahead — without a
+	// budget the controller only widens (growing the resident footprint)
+	// when the caller opts in by raising MaxLookahead. Set MaxLookahead =
+	// Lookahead to pin the depth.
+	MaxLookahead int
+	// MemBudgetBytes bounds the resident shard bytes during training: it is
+	// plumbed into stores that support admission budgets (DiskStore, the
+	// distributed remote store) and bounds the controller's lookahead
+	// projections. 0 = unbounded (today's behaviour).
+	MemBudgetBytes int64
 	// StratumParts N > 1 splits each bucket's edges into N parts and sweeps
 	// the buckets N times per epoch ('stratum losses', Gemulla et al. 2011;
 	// §4.1 footnote 3).
@@ -120,6 +135,19 @@ func (c Config) withDefaults() Config {
 	if c.Lookahead == 0 {
 		c.Lookahead = 1
 	}
+	if c.MaxLookahead == 0 {
+		c.MaxLookahead = c.Lookahead
+		// Widening trades resident memory for overlap, so the default only
+		// turns it on when a budget bounds that trade; unbudgeted runs keep
+		// the fixed depth (and its fixed footprint) unless the caller opts
+		// in by raising MaxLookahead.
+		if c.MemBudgetBytes > 0 && c.MaxLookahead < defaultMaxLookahead {
+			c.MaxLookahead = defaultMaxLookahead
+		}
+	}
+	if c.Lookahead > c.MaxLookahead {
+		c.Lookahead = c.MaxLookahead
+	}
 	if c.InitScale == 0 {
 		c.InitScale = 1
 	}
@@ -142,6 +170,16 @@ type EpochStats struct {
 	IOWait time.Duration
 	// Compute is the time spent inside bucket training (HOGWILD workers).
 	Compute time.Duration
+	// Lookahead is the prefetch depth the pipelined executor used this
+	// epoch (0 when the pipeline is off).
+	Lookahead int
+	// LookaheadAction is the adaptive controller's end-of-epoch decision
+	// for the next epoch: "widen", "narrow", or "hold" ("" with the
+	// pipeline off or after a failed epoch).
+	LookaheadAction string
+	// ResidentHighWater is the largest store ResidentBytes sampled during
+	// this epoch (PeakResident is the high-water across the whole run).
+	ResidentHighWater int64
 }
 
 // Trainer owns the training state for one graph.
@@ -181,6 +219,14 @@ type Trainer struct {
 
 	epochsRun int
 	peakBytes int64
+
+	// lookahead is the live prefetch depth the adaptive controller manages
+	// between epochs (see controller.go); cfg.Lookahead is only its initial
+	// value. epochHighWater tracks ResidentBytes within the current epoch;
+	// winBytes caches windowBytes projections per depth.
+	lookahead      int
+	epochHighWater int64
+	winBytes       map[int]int64
 
 	// ioWaitNs/computeNs accumulate bucket-transition stall time and
 	// in-bucket training time; TrainEpoch reports the per-epoch deltas.
@@ -247,6 +293,17 @@ func New(g *graph.Graph, store storage.Store, cfg Config) (*Trainer, error) {
 	t.buckets = order
 
 	t.stripes = make([]sync.Mutex, 1024)
+	t.winBytes = make(map[int]int64)
+
+	// Plumb the memory budget into stores that enforce one (DiskStore, the
+	// distributed remote store); others simply ignore it. Then pick the
+	// initial lookahead the budget can actually afford.
+	if cfg.MemBudgetBytes > 0 {
+		if b, ok := store.(interface{ SetMaxResidentBytes(int64) }); ok {
+			b.SetMaxResidentBytes(cfg.MemBudgetBytes)
+		}
+	}
+	t.initLookahead()
 	return t, nil
 }
 
@@ -382,6 +439,10 @@ func countSwapIns(b partition.Bucket, held map[int]bool, stats *EpochStats) map[
 func (t *Trainer) TrainEpoch() (EpochStats, error) {
 	start := time.Now()
 	stats := EpochStats{Epoch: t.epochsRun}
+	t.epochHighWater = 0
+	if !t.cfg.PipelineOff {
+		stats.Lookahead = t.lookahead
+	}
 	ioBase, computeBase := t.ioWaitNs, t.computeNs
 	items := t.epochItems()
 	var err error
@@ -394,8 +455,12 @@ func (t *Trainer) TrainEpoch() (EpochStats, error) {
 	stats.Compute = time.Duration(t.computeNs - computeBase)
 	stats.Duration = time.Since(start)
 	stats.PeakResident = t.peakBytes
+	stats.ResidentHighWater = t.epochHighWater
 	if err != nil {
 		return stats, err
+	}
+	if !t.cfg.PipelineOff {
+		t.adaptLookahead(&stats)
 	}
 	t.epochsRun++
 	return stats, nil
@@ -497,12 +562,10 @@ func (t *Trainer) runEpochPipelined(items []epochItem, stats *EpochStats) error 
 			shards[k] = ref
 		}
 		t.ioWaitNs += time.Since(t0).Nanoseconds()
-		if rb := t.store.ResidentBytes(); rb > t.peakBytes {
-			t.peakBytes = rb
-		}
+		t.sampleResident()
 		// Hint the shards the next buckets will need; the store loads them
 		// on its background pool while this bucket trains.
-		for l := 1; l <= t.cfg.Lookahead && i+l < len(items); l++ {
+		for l := 1; l <= t.lookahead && i+l < len(items); l++ {
 			for _, k := range t.bucketShardKeys(items[i+l].b) {
 				if _, ok := held[k]; !ok {
 					t.store.Prefetch(k.t, k.p)
@@ -645,9 +708,7 @@ func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edg
 	}()
 	// Sample peak model memory while the bucket's shards are resident (the
 	// Tables 3–4 memory column).
-	if rb := t.store.ResidentBytes(); rb > t.peakBytes {
-		t.peakBytes = rb
-	}
+	t.sampleResident()
 	t2 := time.Now()
 	loss, edges, err = t.runBucket(b, lo, hi, shards)
 	t.computeNs += time.Since(t2).Nanoseconds()

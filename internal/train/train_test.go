@@ -179,6 +179,59 @@ func TestPipelineMatchesSerialLoss(t *testing.T) {
 	}
 }
 
+// TestPipelineMatchesSerialLossTightBudget is the budget regression pin: a
+// budget so tight only one bucket's shards fit forces the adaptive
+// controller to lookahead 0 and the store into constant forced eviction —
+// and the losses must still be bit-identical to the serial baseline
+// (admission, shedding, and eviction may change shard lifetimes, never the
+// math).
+func TestPipelineMatchesSerialLossTightBudget(t *testing.T) {
+	// Price one bucket's working set on a probe trainer.
+	probeG := smallSocial(t, 4)
+	probe, err := New(probeG, storage.NewMemStore(probeG.Schema, 16, 7, 1), Config{Dim: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := probe.windowBytes(0) + probe.maxShardBytes()
+
+	run := func(off bool, budget int64) []EpochStats {
+		g := smallSocial(t, 4)
+		store, err := storage.NewDiskStore(t.TempDir(), g.Schema, 16, 7, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer store.Close()
+		tr, err := New(g, store, Config{
+			Dim: 16, Epochs: 2, Seed: 3, PipelineOff: off,
+			Lookahead: 2, MaxLookahead: 3, MemBudgetBytes: budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !off && tr.Lookahead() != 0 {
+			t.Fatalf("one-bucket budget must force lookahead 0, got %d", tr.Lookahead())
+		}
+		stats, err := tr.Train(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	pipe := run(false, budget)
+	serial := run(true, 0)
+	for e := range pipe {
+		if pipe[e].Loss != serial[e].Loss || pipe[e].Edges != serial[e].Edges {
+			t.Fatalf("epoch %d diverged under tight budget: pipeline (%v, %d) vs serial (%v, %d)",
+				e, pipe[e].Loss, pipe[e].Edges, serial[e].Loss, serial[e].Edges)
+		}
+	}
+	for _, s := range pipe {
+		if s.ResidentHighWater > budget+probe.maxShardBytes() {
+			t.Fatalf("epoch %d high-water %d exceeds tight budget %d + allowance", s.Epoch, s.ResidentHighWater, budget)
+		}
+	}
+}
+
 func TestTrainMultiWorkerHogwild(t *testing.T) {
 	if raceDetectorEnabled {
 		t.Skip("HOGWILD races on embedding rows by design; see TestTrainPipelinedDiskStoreRace for the race-clean striped mode")

@@ -88,7 +88,13 @@ func TrainWithCallback(g *Graph, cfg TrainConfig, onEpoch func(train.EpochStats)
 
 // TrainOnDisk learns embeddings with partition swapping to dir — the §4.1
 // regime that bounds memory to two partitions (plus the pipelined
-// executor's prefetch/write-back transients).
+// executor's prefetch/write-back transients). Set cfg.MemBudgetBytes to
+// cap the resident shard bytes: the disk store then enforces the budget at
+// admission (shedding prefetch hints, evicting unreferenced shards
+// LRU-first) and the adaptive lookahead controller keeps the prefetch
+// window inside it; cfg.MaxLookahead caps how far the controller widens
+// the window when epochs measure as I/O bound. The default (0) is
+// unbounded and preserves the fixed-footprint behaviour above.
 func TrainOnDisk(g *Graph, dir string, cfg TrainConfig) (*Model, error) {
 	return TrainOnDiskWithCallback(g, dir, cfg, nil)
 }
