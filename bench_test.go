@@ -214,6 +214,22 @@ func BenchmarkFigure7TwitterCurves(b *testing.B) {
 	}
 }
 
+// BenchmarkOrderingSweep regenerates the budget-aware ordering validation:
+// projected swaps and measured forced evictions for inside_out vs
+// budget_aware at three partition-buffer sizes.
+func BenchmarkOrderingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.OrderingSweep(bench.SmallScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, rep, "proj_swaps")
+			reportRows(b, rep, "forced_evicts")
+		}
+	}
+}
+
 // BenchmarkAblationAlpha sweeps the §3.1 negative-sampling mixture.
 func BenchmarkAblationAlpha(b *testing.B) {
 	for i := 0; i < b.N; i++ {

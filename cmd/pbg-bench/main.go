@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id: all, table1, table2, table3, table4, figure1, figure4, figure5, figure6, figure7, ablations")
+	expFlag := flag.String("exp", "all", "experiment id: all, table1, table2, table3, table4, figure1, figure4, figure5, figure6, figure7, ordering, ablations")
 	scaleFlag := flag.String("scale", "small", "small or medium")
 	flag.Parse()
 
@@ -103,6 +103,10 @@ func main() {
 	if all || want["figure7"] {
 		cs, err := bench.Figure7TwitterCurves(scale)
 		curves(cs, err, "figure7: Twitter distributed learning curves (paper Figure 7)")
+	}
+	if all || want["ordering"] {
+		rep, err := bench.OrderingSweep(scale)
+		report(rep, []string{"proj_swaps", "forced_evicts", "iowait%", "edges/s"}, err)
 	}
 	if all || want["ablations"] {
 		rep, err := bench.AblationAlpha(scale)

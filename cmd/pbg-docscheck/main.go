@@ -1,0 +1,142 @@
+// Command pbg-docscheck is the CI documentation gate: it walks every
+// markdown file in the repository, verifies that intra-repo links resolve
+// to real files, and checks that ```go code fences which form complete Go
+// source (directly, or once wrapped in a package clause) are gofmt-clean.
+// Fences that are deliberate fragments — statements without a surrounding
+// declaration, elided bodies — are skipped, not failed.
+//
+// Usage (from the module root):
+//
+//	go run ./cmd/pbg-docscheck       # check the working tree
+//	go run ./cmd/pbg-docscheck dir   # check another tree
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Images and
+// reference-style links are out of scope for this repo's docs.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// fenceRe captures ```go fences non-greedily, tolerating trailing
+// whitespace after the language tag.
+var fenceRe = regexp.MustCompile("(?s)```go[ \t]*\n(.*?)```")
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var mdFiles []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch d.Name() {
+		case "PAPER.md", "PAPERS.md", "SNIPPETS.md":
+			// Retrieved paper/related-work material, not repo documentation:
+			// scrape artifacts (figure links, partial excerpts) are expected.
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbg-docscheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	problems := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		problems++
+	}
+	checkedLinks, checkedFences, skippedFences := 0, 0, 0
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			fail("%s: %v", md, err)
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if !isIntraRepo(target) {
+				continue
+			}
+			checkedLinks++
+			// Strip an anchor; markdown links may be URL-escaped.
+			p := target
+			if i := strings.IndexByte(p, '#'); i >= 0 {
+				p = p[:i]
+			}
+			if p == "" {
+				continue // pure anchor into the same file
+			}
+			if unescaped, err := url.PathUnescape(p); err == nil {
+				p = unescaped
+			}
+			resolved := filepath.Join(filepath.Dir(md), filepath.FromSlash(p))
+			if _, err := os.Stat(resolved); err != nil {
+				fail("%s: broken link %q (%s does not exist)", md, target, resolved)
+			}
+		}
+		for i, m := range fenceRe.FindAllStringSubmatch(string(data), -1) {
+			src := []byte(m[1])
+			formatted, err := format.Source(src)
+			if err != nil {
+				// Not a complete file; a fence of top-level declarations
+				// still parses once given a package clause.
+				wrapped := append([]byte("package p\n\n"), src...)
+				wFormatted, werr := format.Source(wrapped)
+				if werr != nil {
+					skippedFences++ // deliberate fragment (statements, elisions)
+					continue
+				}
+				checkedFences++
+				if !bytes.Equal(wFormatted, wrapped) {
+					fail("%s: go fence #%d is not gofmt-clean", md, i+1)
+				}
+				continue
+			}
+			checkedFences++
+			if !bytes.Equal(formatted, src) {
+				fail("%s: go fence #%d is not gofmt-clean", md, i+1)
+			}
+		}
+	}
+	fmt.Printf("pbg-docscheck: %d markdown files, %d intra-repo links, %d go fences checked (%d fragment fences skipped)\n",
+		len(mdFiles), checkedLinks, checkedFences, skippedFences)
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "pbg-docscheck: %d problem(s)\n", problems)
+		os.Exit(1)
+	}
+}
+
+// isIntraRepo reports whether a link target points into the repository (a
+// relative path) rather than to an external URL or a pure anchor.
+func isIntraRepo(target string) bool {
+	if strings.HasPrefix(target, "#") {
+		return false
+	}
+	if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+		return false // http(s), mailto, etc.
+	}
+	return true
+}

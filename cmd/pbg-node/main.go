@@ -45,8 +45,10 @@ func main() {
 		pservs  = flag.String("partition-servers", "", "comma-separated partition server addresses (trainer)")
 		qservs  = flag.String("param-servers", "", "comma-separated parameter server addresses (trainer)")
 		seed    = flag.Uint64("seed", 1, "graph seed (must match across nodes)")
-		budget  = flag.String("mem-budget", "", "trainer checkout-cache budget, e.g. 256MB (default unbounded)")
+		budget  = flag.String("mem-budget", "", "trainer checkout-cache budget, e.g. 256MB (default unbounded; lock role: prices -order budget_aware)")
 		maxLook = flag.Int("max-lookahead", 0, "adaptive lookahead cap for the trainer's executor (0 = default)")
+		orderBy = flag.String("order", "", "lock role bucket order: inside_out (default), sequential, random, chained, budget_aware")
+		slots   = flag.Int("buffer-slots", 0, "lock role: resident partition slots for -order budget_aware (0 = derive from -mem-budget/-nodes/-dim)")
 	)
 	flag.Parse()
 
@@ -57,9 +59,38 @@ func main() {
 
 	switch *role {
 	case "lock":
-		order, err := partition.Order(partition.OrderInsideOut, *nParts, *nParts, 0)
+		// The lock server owns the bucket order every trainer leases from, so
+		// the budget-aware optimisation happens here. With -buffer-slots
+		// unset, the slot count is derived from -mem-budget through the same
+		// train.BufferSlotsFor pricing the trainers apply to their checkout
+		// caches — over the synthetic graph's schema (-nodes rows across
+		// -partitions partitions at -dim), so those flags must match the
+		// trainer processes for the two projections to agree.
+		bufSlots := *slots
+		if bufSlots == 0 && memBudget > 0 && *nParts > 1 {
+			schema, err := graph.NewSchema(
+				[]graph.EntityType{{Name: "node", Count: *nodes, NumPartitions: *nParts}},
+				[]graph.RelationType{{Name: "follows", SourceType: "node", DestType: "node", Operator: "identity"}},
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bufSlots = train.BufferSlotsFor(schema, *dim, memBudget)
+		}
+		order, err := partition.OrderForBuffer(*orderBy, *nParts, *nParts, *seed, bufSlots)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *orderBy == partition.OrderBudgetAware {
+			if bufSlots > 0 {
+				fmt.Printf("budget_aware order over %d buffer slots: %d projected loads (inside_out: %d)\n",
+					bufSlots, partition.SwapCostUnderBuffer(order, bufSlots), func() int {
+						io, _ := partition.Order(partition.OrderInsideOut, *nParts, *nParts, 0)
+						return partition.SwapCostUnderBuffer(io, bufSlots)
+					}())
+			} else {
+				fmt.Println("budget_aware: no usable -mem-budget or -buffer-slots; order degrades to inside_out")
+			}
 		}
 		serveForever(*listen, map[string]any{"LockServer": dist.NewLockServer(order)})
 	case "partition":

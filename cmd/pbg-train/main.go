@@ -18,6 +18,7 @@ import (
 
 	"pbg"
 	"pbg/internal/graph"
+	"pbg/internal/partition"
 	"pbg/internal/storage"
 	"pbg/internal/train"
 )
@@ -43,6 +44,7 @@ func main() {
 		memBudget  = flag.String("mem-budget", "", "resident shard memory budget, e.g. 256MB or 1.5GiB (default unbounded)")
 		lookahead  = flag.Int("lookahead", 0, "initial pipelined-prefetch depth (0 = default 1)")
 		maxLook    = flag.Int("max-lookahead", 0, "adaptive lookahead cap (0 = default; set equal to -lookahead to pin)")
+		order      = flag.String("order", "", "bucket order: inside_out (default), sequential, random, chained, budget_aware (optimises against -mem-budget)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,14 @@ func main() {
 		Comparator: *comparator, Loss: *lossName,
 		LR: float32(*lr), Seed: *seed,
 		Lookahead: *lookahead, MaxLookahead: *maxLook, MemBudgetBytes: budget,
+		BucketOrder: *order,
+	}
+	if *order == partition.OrderBudgetAware {
+		if slots := train.BufferSlotsFor(g.Schema, *dim, budget); slots > 0 {
+			fmt.Printf("budget_aware order: optimising against %d resident partition slots from -mem-budget\n", slots)
+		} else {
+			fmt.Println("budget_aware: no usable -mem-budget; order degrades to inside_out")
+		}
 	}
 	onEpoch := func(st train.EpochStats) {
 		line := fmt.Sprintf("epoch %d: loss/edge %.4f  edges %d  %.2fs  IO %d  iowait %.0f%%",

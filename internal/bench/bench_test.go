@@ -193,6 +193,42 @@ func TestFigure5CurvesShape(t *testing.T) {
 	}
 }
 
+func TestOrderingSweepShape(t *testing.T) {
+	rep, err := OrderingSweep(SmallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.Format([]string{"proj_swaps", "forced_evicts", "iowait%", "edges/s"}))
+	if len(rep.Rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rep.Rows))
+	}
+	var ioEvicts, baEvicts float64
+	for _, slots := range []int{3, 4, 6} {
+		io, ok := rep.FindRow(fmt.Sprintf("inside_out slots=%d", slots))
+		if !ok {
+			t.Fatalf("missing inside_out row at slots=%d", slots)
+		}
+		ba, ok := rep.FindRow(fmt.Sprintf("budget_aware slots=%d", slots))
+		if !ok {
+			t.Fatalf("missing budget_aware row at slots=%d", slots)
+		}
+		// The deterministic half of the claim: the optimized order projects
+		// strictly fewer partition loads under the buffer it targeted.
+		if ba.Value("proj_swaps") >= io.Value("proj_swaps") {
+			t.Errorf("slots=%d: budget_aware proj_swaps %.0f not below inside_out %.0f",
+				slots, ba.Value("proj_swaps"), io.Value("proj_swaps"))
+		}
+		ioEvicts += io.Value("forced_evicts")
+		baEvicts += ba.Value("forced_evicts")
+	}
+	// The measured half: across the sweep the optimized order must not force
+	// more evictions at the same budgets (summed over buffer sizes to damp
+	// prefetch-timing noise in any single cell).
+	if baEvicts > ioEvicts {
+		t.Errorf("budget_aware forced %.0f evictions vs inside_out %.0f across the sweep", baEvicts, ioEvicts)
+	}
+}
+
 func TestAblationAlphaShape(t *testing.T) {
 	rep, err := AblationAlpha(SmallScale)
 	if err != nil {

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pbg/internal/partition"
+	"pbg/internal/storage"
+	"pbg/internal/train"
+)
+
+// OrderingSweep validates the budget-aware bucket ordering (Marius-style
+// BETA ordering; ROADMAP follow-up to the PR 3 memory budget): inside_out
+// versus budget_aware on a DiskStore whose admission budget affords 3, 4,
+// and 6 resident partition slots. For each configuration it reports the
+// analytically projected partition loads under that buffer
+// (partition.SwapCostUnderBuffer on the trainer's actual order), the
+// ForcedEvicts the store really performed, the IOWait share, and training
+// throughput. The claim under test: at the same MemBudgetBytes the
+// optimized order forces fewer evictions — the cost model's projection
+// made real — without an edges/s regression.
+func OrderingSweep(s Scale) (*Report, error) {
+	const parts = 8
+	rep := &Report{ID: "ordering", Title: "Budget-aware bucket ordering (buffer-bounded swap I/O)"}
+	for _, slots := range []int{3, 4, 6} {
+		for _, ord := range []string{partition.OrderInsideOut, partition.OrderBudgetAware} {
+			g, err := socialGraph(s, parts, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			dir, err := os.MkdirTemp("", "pbgorder")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			store, err := storage.NewDiskStore(dir, g.Schema, s.Dim, s.Seed+1, 1)
+			if err != nil {
+				return nil, err
+			}
+			// One slot = one partition shard of the single entity type; the
+			// budget adds the one-in-flight-shard allowance the trainer's
+			// slot pricing sets aside, so BufferSlots comes out at `slots`
+			// exactly. Lookahead is pinned at 1 so both orders run the same
+			// pipeline depth and the order is the only variable.
+			perShard := storage.ProjectedShardBytes(g.Schema, s.Dim, 0, 0)
+			tr, err := train.New(g, store, train.Config{
+				Dim: s.Dim, Epochs: s.Epochs, Workers: s.Workers, Seed: s.Seed,
+				BucketOrder: ord, MemBudgetBytes: int64(slots+1) * perShard,
+				Lookahead: 1, MaxLookahead: 1,
+			})
+			if err != nil {
+				store.Close()
+				return nil, err
+			}
+			if got := tr.BufferSlots(); got != slots {
+				store.Close()
+				return nil, fmt.Errorf("bench: trainer priced %d buffer slots, want %d", got, slots)
+			}
+			projected := partition.SwapCostUnderBuffer(tr.Buckets(), slots)
+
+			var edges int
+			var ioWait, total time.Duration
+			stats, err := tr.Train(nil)
+			if err != nil {
+				store.Close()
+				return nil, err
+			}
+			for _, st := range stats {
+				edges += st.Edges
+				ioWait += st.IOWait
+				total += st.Duration
+			}
+			ioStats := store.IOStats()
+			if err := store.Close(); err != nil {
+				return nil, err
+			}
+			row := Row{Label: fmt.Sprintf("%s slots=%d", ord, slots), Values: map[string]float64{
+				"proj_swaps":    float64(projected),
+				"forced_evicts": float64(ioStats.ForcedEvicts),
+				"iowait%":       100 * ioWait.Seconds() / total.Seconds(),
+				"edges/s":       float64(edges) / total.Seconds(),
+			}}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	rep.Notes = "budget_aware orders buckets against the partition buffer the budget affords (Marius BETA-style); proj_swaps is the cost model, forced_evicts the store's measured evictions at that budget"
+	return rep, nil
+}

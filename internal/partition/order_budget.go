@@ -1,0 +1,263 @@
+package partition
+
+// Budget-aware bucket ordering (the scheduling half of the memory-budget
+// story). PBG fixes the bucket order up front — inside-out minimises swaps
+// for a machine that holds exactly the current bucket's two partitions —
+// but a memory-budgeted shard cache (storage.DiskStore under
+// SetMaxResidentBytes) can hold *several* partitions at once, and Marius
+// (Mohoney et al., OSDI 2021) showed that choosing the order against that
+// bounded partition buffer (their BETA ordering) removes most of the swap
+// I/O the fixed order pays. This file provides the analytical cost model —
+// SwapCostUnderBuffer simulates an LRU partition buffer of a given capacity
+// — and OptimizeOrder, a greedy one-step-lookahead search that reorders a
+// bucket sequence to minimise loads under that buffer while preserving the
+// §4.1 initialisation invariant checked by CheckInvariant.
+
+// CostModel prices a bucket order against a bounded partition buffer: Slots
+// is how many partitions fit in memory at once (each slot holds one
+// partition's shards across all partitioned entity types). Slots <= 0 means
+// an unbounded buffer, under which every partition loads exactly once.
+type CostModel struct {
+	// Slots is the resident partition capacity. A bucket touches at most
+	// two partitions, so values below 2 cannot even hold one off-diagonal
+	// bucket's working set; Cost and OptimizeOrder treat them like 2.
+	Slots int
+}
+
+// Cost returns the number of partition loads executing order under this
+// buffer; see SwapCostUnderBuffer.
+func (c CostModel) Cost(order []Bucket) int { return SwapCostUnderBuffer(order, c.Slots) }
+
+// Bounded reports whether the model describes a finite buffer that can
+// actually force evictions for the given order (there is some order of
+// these buckets it cannot hold entirely).
+func (c CostModel) Bounded(order []Bucket) bool {
+	return c.Slots > 0 && c.Slots < distinctParts(order)
+}
+
+func distinctParts(order []Bucket) int {
+	seen := map[int]bool{}
+	for _, b := range order {
+		seen[b.P1] = true
+		seen[b.P2] = true
+	}
+	return len(seen)
+}
+
+// SwapCostUnderBuffer simulates executing the order on a machine whose
+// partition buffer holds up to slots partitions, evicting least-recently-
+// used partitions when a bucket needs room, and returns the number of
+// partition loads. slots <= 0 means unbounded (each distinct partition
+// loads exactly once — the compulsory minimum); slots below a bucket's own
+// working set is clamped to it, so the count is always well defined.
+//
+// SwapCount is the special case of a buffer that retains only the current
+// bucket's partitions; because LRU keeps strictly more state, for any
+// slots >= 2 this never exceeds SwapCount(order). LRU is a stack algorithm,
+// so the cost is also monotone non-increasing in slots (no Belady anomaly);
+// both properties are pinned by tests.
+func SwapCostUnderBuffer(order []Bucket, slots int) int {
+	if slots <= 0 {
+		return distinctParts(order)
+	}
+	if slots < 2 {
+		slots = 2
+	}
+	held := map[int]int64{} // partition -> last-use stamp
+	var clock int64
+	loads := 0
+	for _, b := range order {
+		clock++
+		parts := b.Parts()
+		for _, p := range parts {
+			if _, ok := held[p]; !ok {
+				loads++
+				// Evict LRU partitions not needed by this bucket until the
+				// newcomer fits.
+				for len(held) >= slots {
+					victim, victimUse := -1, int64(1<<62)
+					for q, use := range held {
+						if use < victimUse && q != b.P1 && q != b.P2 {
+							victim, victimUse = q, use
+						}
+					}
+					if victim < 0 {
+						break // everything held is needed right now
+					}
+					delete(held, victim)
+				}
+			}
+			held[p] = clock
+		}
+	}
+	return loads
+}
+
+// optimizeGainCap bounds how many minimal-load candidates OptimizeOrder
+// evaluates with the one-step-lookahead gain heuristic per step, keeping the
+// search near-quadratic in the bucket count on large grids.
+const optimizeGainCap = 64
+
+// OptimizeOrder reorders the given buckets to minimise partition loads
+// under the buffer described by the cost model, returning a new slice (the
+// input is not modified). The search is greedy with one step of lookahead:
+// at each position it considers the not-yet-scheduled buckets that touch at
+// least one previously scheduled partition (preserving the §4.1
+// initialisation invariant — the result passes CheckInvariant whenever the
+// input does), keeps those needing the fewest partition loads, and among
+// them prefers the bucket whose post-load buffer contains the most
+// remaining zero-cost buckets — which reproduces the blocked, buffer-filling
+// sweeps of Marius' BETA ordering on grid bucket sets. Ties break by input
+// position, so the result is deterministic and degrades to the input order
+// when the buffer cannot distinguish candidates.
+//
+// When the model is unbounded for these buckets (Slots <= 0, or every
+// partition fits at once) there is nothing to optimise and a copy of the
+// input is returned.
+func OptimizeOrder(order []Bucket, buffer CostModel) []Bucket {
+	if len(order) <= 2 || !buffer.Bounded(order) {
+		return append([]Bucket(nil), order...)
+	}
+	slots := buffer.Slots
+	if slots < 2 {
+		slots = 2
+	}
+
+	remaining := make([]Bucket, len(order))
+	copy(remaining, order)
+	pending := make(map[Bucket]bool, len(order))
+	for _, b := range order {
+		pending[b] = true
+	}
+	held := map[int]int64{} // simulated buffer: partition -> last-use stamp
+	seen := map[int]bool{}  // partitions touched by any scheduled bucket
+	var clock int64
+
+	// place simulates scheduling b: loads its missing partitions (evicting
+	// LRU entries not needed by b) and marks its partitions seen.
+	place := func(b Bucket) {
+		clock++
+		for _, p := range b.Parts() {
+			if _, ok := held[p]; !ok {
+				for len(held) >= slots {
+					victim, victimUse := -1, int64(1<<62)
+					for q, use := range held {
+						if use < victimUse && q != b.P1 && q != b.P2 {
+							victim, victimUse = q, use
+						}
+					}
+					if victim < 0 {
+						break
+					}
+					delete(held, victim)
+				}
+			}
+			held[p] = clock
+			seen[p] = true
+		}
+	}
+
+	out := make([]Bucket, 0, len(order))
+	take := func(b Bucket) {
+		place(b)
+		delete(pending, b)
+		out = append(out, b)
+		for i, r := range remaining {
+			if r == b {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+
+	// The first bucket is free to the invariant; keep the input's choice
+	// (inside-out starts at (0,0)).
+	take(remaining[0])
+
+	loadsOf := func(b Bucket) int {
+		n := 0
+		for _, p := range b.Parts() {
+			if _, ok := held[p]; !ok {
+				n++
+			}
+		}
+		return n
+	}
+
+	// gainOf counts pending buckets (other than b) that would cost zero
+	// loads with b's partitions resident: the payoff of bringing b's new
+	// partitions in. The buffer holds at most `slots` partitions, so this
+	// stays O(slots²) per candidate.
+	gainOf := func(b Bucket) int {
+		parts := make([]int, 0, slots+2)
+		for q := range held {
+			parts = append(parts, q)
+		}
+		for _, p := range b.Parts() {
+			if _, ok := held[p]; !ok {
+				parts = append(parts, p)
+			}
+		}
+		gain := 0
+		for _, p := range parts {
+			for _, q := range parts {
+				c := Bucket{p, q}
+				if c != b && pending[c] {
+					gain++
+				}
+			}
+		}
+		return gain
+	}
+
+	for len(remaining) > 0 {
+		// Pass 1: the minimal load count over eligible candidates.
+		minLoads := 3
+		anyEligible := false
+		for _, b := range remaining {
+			if !seen[b.P1] && !seen[b.P2] {
+				continue
+			}
+			anyEligible = true
+			if l := loadsOf(b); l < minLoads {
+				minLoads = l
+				if l == 0 {
+					break
+				}
+			}
+		}
+		if !anyEligible {
+			// The pending buckets share no partition with anything scheduled
+			// (possible only for non-grid bucket sets); fall back to input
+			// order, mirroring the invariant's own escape hatch.
+			take(remaining[0])
+			continue
+		}
+		// Pass 2: among minimal-load candidates, the best one-step gain.
+		best := Bucket{-1, -1}
+		bestGain := -1
+		evaluated := 0
+		for _, b := range remaining {
+			if !seen[b.P1] && !seen[b.P2] {
+				continue
+			}
+			if loadsOf(b) != minLoads {
+				continue
+			}
+			if minLoads == 0 {
+				// Zero-cost buckets are all equally free; take the first in
+				// input order (stable) without paying for gain evaluation.
+				best = b
+				break
+			}
+			if g := gainOf(b); g > bestGain {
+				best, bestGain = b, g
+			}
+			if evaluated++; evaluated >= optimizeGainCap {
+				break
+			}
+		}
+		take(best)
+	}
+	return out
+}

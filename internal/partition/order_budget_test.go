@@ -1,0 +1,193 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Acceptance pin: on an 8×8 grid with a 3-partition buffer the optimized
+// order must cost strictly fewer projected loads than inside-out.
+func TestBudgetAwareBeatsInsideOut8x8Buffer3(t *testing.T) {
+	const p, slots = 8, 3
+	io, err := Order(OrderInsideOut, p, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := OrderForBuffer(OrderBudgetAware, p, p, 0, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ioCost := SwapCostUnderBuffer(io, slots)
+	baCost := SwapCostUnderBuffer(ba, slots)
+	t.Logf("8x8 buffer=3: inside_out %d loads, budget_aware %d loads", ioCost, baCost)
+	if baCost >= ioCost {
+		t.Fatalf("budget_aware %d loads not strictly below inside_out %d", baCost, ioCost)
+	}
+	if !CheckInvariant(ba) {
+		t.Fatal("optimized order violates the initialisation invariant")
+	}
+}
+
+func TestSwapCostUnboundedIsCompulsoryMinimum(t *testing.T) {
+	for _, name := range []string{OrderInsideOut, OrderSequential, OrderRandom, OrderChained} {
+		order, err := Order(name, 6, 6, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unbounded buffer: each of the 6 partitions loads exactly once.
+		if got := SwapCostUnderBuffer(order, 0); got != 6 {
+			t.Fatalf("%s: unbounded cost %d, want 6 (one compulsory load per partition)", name, got)
+		}
+		if got := (CostModel{Slots: 0}).Cost(order); got != 6 {
+			t.Fatalf("%s: CostModel{0}.Cost = %d, want 6", name, got)
+		}
+	}
+}
+
+func TestSwapCostExactSmall(t *testing.T) {
+	// (0,0): load 0. (0,1): load 1. (1,1): both held. (2,0): load 2 evicting
+	// LRU 0... with 3 slots nothing is evicted yet, so (0,2) costs 0 more.
+	order := []Bucket{{0, 0}, {0, 1}, {1, 1}, {2, 0}, {0, 2}}
+	if got := SwapCostUnderBuffer(order, 3); got != 3 {
+		t.Fatalf("cost = %d, want 3", got)
+	}
+	// With only 2 slots, (2,0) evicts 1 and keeps 0; (0,2) is then free.
+	if got := SwapCostUnderBuffer(order, 2); got != 3 {
+		t.Fatalf("2-slot cost = %d, want 3", got)
+	}
+}
+
+// Property: an LRU buffer with slots >= 2 never costs more than SwapCount's
+// hold-only-the-current-bucket policy, and — LRU being a stack algorithm —
+// cost is monotone non-increasing in the buffer size.
+func TestSwapCostBufferDominatesSwapCountProperty(t *testing.T) {
+	f := func(pRaw, slotRaw uint8, seed uint64) bool {
+		p := int(pRaw)%8 + 1
+		slots := int(slotRaw)%8 + 2
+		for _, name := range []string{OrderInsideOut, OrderSequential, OrderRandom, OrderChained} {
+			order, _ := Order(name, p, p, seed)
+			c := SwapCostUnderBuffer(order, slots)
+			if c > SwapCount(order) {
+				return false
+			}
+			if SwapCostUnderBuffer(order, slots+1) > c {
+				return false
+			}
+			// Bounded below by the compulsory loads.
+			if c < SwapCostUnderBuffer(order, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: budget_aware never costs more than inside_out under the same
+// buffer, on any square grid.
+func TestBudgetAwareNeverWorseProperty(t *testing.T) {
+	f := func(pRaw, slotRaw uint8) bool {
+		p := int(pRaw)%12 + 1
+		slots := int(slotRaw)%6 + 2
+		io, err := Order(OrderInsideOut, p, p, 0)
+		if err != nil {
+			return false
+		}
+		ba, err := OrderForBuffer(OrderBudgetAware, p, p, 0, slots)
+		if err != nil {
+			return false
+		}
+		return SwapCostUnderBuffer(ba, slots) <= SwapCostUnderBuffer(io, slots)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: OptimizeOrder returns a permutation of its input that still
+// satisfies the initialisation invariant, for arbitrary grids and buffers.
+func TestOptimizeOrderPermutationInvariantProperty(t *testing.T) {
+	f := func(srcRaw, dstRaw, slotRaw uint8, seed uint64) bool {
+		nSrc := int(srcRaw)%8 + 1
+		nDst := int(dstRaw)%8 + 1
+		slots := int(slotRaw) % 10 // 0 and 1 exercise the degenerate paths
+		base, err := Order(OrderInsideOut, nSrc, nDst, seed)
+		if err != nil {
+			return false
+		}
+		opt := OptimizeOrder(base, CostModel{Slots: slots})
+		if len(opt) != len(base) {
+			return false
+		}
+		seen := map[Bucket]bool{}
+		for _, b := range opt {
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		for _, b := range base {
+			if !seen[b] {
+				return false
+			}
+		}
+		return CheckInvariant(opt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderBudgetAwareDegradesToInsideOut(t *testing.T) {
+	io, _ := Order(OrderInsideOut, 5, 5, 0)
+	for _, slots := range []int{0, 5, 100} { // no budget, or buffer holds everything
+		ba, err := OrderForBuffer(OrderBudgetAware, 5, 5, 0, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ba) != len(io) {
+			t.Fatalf("slots=%d: %d buckets, want %d", slots, len(ba), len(io))
+		}
+		for i := range ba {
+			if ba[i] != io[i] {
+				t.Fatalf("slots=%d: order diverges from inside_out at %d: %v vs %v", slots, i, ba[i], io[i])
+			}
+		}
+	}
+	// Plain Order never has a buffer to optimise against.
+	ba, err := Order(OrderBudgetAware, 5, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ba {
+		if ba[i] != io[i] {
+			t.Fatalf("Order(budget_aware) diverges from inside_out at %d", i)
+		}
+	}
+}
+
+func TestOptimizeOrderDoesNotMutateInput(t *testing.T) {
+	base, _ := Order(OrderInsideOut, 6, 6, 0)
+	orig := append([]Bucket(nil), base...)
+	OptimizeOrder(base, CostModel{Slots: 3})
+	for i := range base {
+		if base[i] != orig[i] {
+			t.Fatalf("input order mutated at %d", i)
+		}
+	}
+}
+
+func TestCostModelBounded(t *testing.T) {
+	order, _ := Order(OrderSequential, 4, 4, 0)
+	if (CostModel{Slots: 0}).Bounded(order) {
+		t.Fatal("unbounded model reported bounded")
+	}
+	if (CostModel{Slots: 4}).Bounded(order) {
+		t.Fatal("buffer holding all 4 partitions reported bounded")
+	}
+	if !(CostModel{Slots: 3}).Bounded(order) {
+		t.Fatal("3-slot buffer over 4 partitions reported unbounded")
+	}
+}

@@ -43,23 +43,44 @@ func (b Bucket) Disjoint(o Bucket) bool {
 	return b.P1 != o.P1 && b.P1 != o.P2 && b.P2 != o.P1 && b.P2 != o.P2
 }
 
-// Ordering names implemented by Order.
+// Ordering names implemented by Order. See README.md in this package for
+// worked swap-count comparisons of all five strategies.
 const (
 	OrderInsideOut  = "inside_out"
 	OrderSequential = "sequential"
 	OrderRandom     = "random"
 	OrderChained    = "chained"
+	// OrderBudgetAware optimises the bucket sequence against a bounded
+	// partition buffer (Marius-style BETA ordering): see OrderForBuffer.
+	// Through plain Order — which has no buffer size to optimise against —
+	// it degrades to inside_out, the best fixed order.
+	OrderBudgetAware = "budget_aware"
 )
 
 // Order returns the list of all nSrc×nDst buckets in the requested order.
-// seed only affects "random".
+// seed only affects "random". The "budget_aware" order needs a buffer
+// capacity to optimise against and so degrades to inside_out here; use
+// OrderForBuffer when the resident partition slot count is known.
 func Order(name string, nSrc, nDst int, seed uint64) ([]Bucket, error) {
+	return OrderForBuffer(name, nSrc, nDst, seed, 0)
+}
+
+// OrderForBuffer is Order parameterized by the partition buffer capacity:
+// slots is how many partitions the training machine can hold resident at
+// once (e.g. train.Config.MemBudgetBytes divided by the per-partition shard
+// bytes). Only "budget_aware" consults it — the inside-out base order is
+// reordered by OptimizeOrder to minimise projected loads under an LRU
+// buffer of that size. With slots <= 0 (no budget) or a buffer that already
+// holds every partition, budget_aware degrades to inside_out.
+func OrderForBuffer(name string, nSrc, nDst int, seed uint64, slots int) ([]Bucket, error) {
 	if nSrc <= 0 || nDst <= 0 {
 		return nil, fmt.Errorf("partition: non-positive partition counts %d×%d", nSrc, nDst)
 	}
 	switch name {
 	case "", OrderInsideOut:
 		return insideOut(nSrc, nDst), nil
+	case OrderBudgetAware:
+		return OptimizeOrder(insideOut(nSrc, nDst), CostModel{Slots: slots}), nil
 	case OrderSequential:
 		out := make([]Bucket, 0, nSrc*nDst)
 		for i := 0; i < nSrc; i++ {
@@ -69,7 +90,7 @@ func Order(name string, nSrc, nDst int, seed uint64) ([]Bucket, error) {
 		}
 		return out, nil
 	case OrderRandom:
-		out, _ := Order(OrderSequential, nSrc, nDst, 0)
+		out, _ := OrderForBuffer(OrderSequential, nSrc, nDst, 0, 0)
 		r := rng.New(seed)
 		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 		return out, nil
@@ -168,6 +189,14 @@ func SwapCount(order []Bucket) int {
 // in-flight buckets, enforces the two-uninitialised-partitions rule, and
 // prefers buckets that reuse a worker's currently held partitions to
 // minimise communication.
+//
+// The order the scheduler is built over is the tie-breaker beneath that
+// affinity preference: Acquire scans it front to back and keeps the first
+// bucket of the best affinity score, so when the order came from
+// OrderForBuffer("budget_aware", ...) trainers lease buckets in the
+// optimized sequence whenever their held partitions do not dictate
+// otherwise — affinity itself being the per-worker form of the same
+// buffer-reuse objective the optimizer minimises globally.
 type Scheduler struct {
 	mu          sync.Mutex
 	order       []Bucket

@@ -8,6 +8,29 @@
 // float32s; shards are also gob-serialisable for the distributed partition
 // server. DiskStore additionally runs a background I/O pool so prefetched
 // loads and write-back evictions overlap training (see disk.go).
+//
+// Two contracts matter to callers beyond plain Acquire/Release:
+//
+//   - Prefetch(t, p) is a non-blocking hint that (t, p) will be Acquired
+//     soon. It takes no reference and may be ignored; a later Acquire
+//     returns exactly what it would have without the hint — just sooner.
+//     The pipelined epoch executor issues hints for the next buckets'
+//     shards while the current bucket trains.
+//   - SetMaxResidentBytes(n) (DiskStore, the distributed checkout cache)
+//     turns the store into a memory-budgeted shard cache: resident shards,
+//     in-flight load projections, and write-back snapshots are accounted
+//     against n — hints that don't fit are dropped or shed, must-have
+//     Acquires evict clean unreferenced shards LRU-by-last-release, and
+//     only a working set that simply cannot fit runs over budget. n = 0
+//     disables budgeting (and clean-shard retention) entirely.
+//
+// DiskStore.IOStats reports the resulting decisions as cumulative
+// counters: Loads and Writes are the raw shard I/O; Admits counts loads
+// that passed budget admission; PrefetchSheds counts hints the budget
+// refused; ForcedEvicts counts clean shards evicted to make room for a
+// must-have. The budget_aware bucket order (internal/partition) exists to
+// drive ForcedEvicts toward zero by sequencing buckets so the cache's
+// working set turns over as little as possible.
 package storage
 
 import (

@@ -1,0 +1,79 @@
+package train
+
+import (
+	"pbg/internal/graph"
+	"pbg/internal/partition"
+	"pbg/internal/storage"
+)
+
+// Budget-aware bucket ordering: translating Config.MemBudgetBytes into the
+// resident-partition-slot capacity partition.OptimizeOrder needs. The
+// memory-budgeted shard cache (PR 3) enforces the budget reactively —
+// admission, hint shedding, LRU eviction — but which shards it is forced to
+// evict is decided by the bucket order; ordering against the buffer removes
+// most of those forced evictions up front. Pricing goes through
+// storage.ProjectedShardBytes, the same single formula budget admission and
+// the lookahead controller use, so the three views of the budget cannot
+// drift apart.
+
+// BufferSlotsFor converts a memory budget into resident partition slots:
+// how many whole partitions (one shard per partitioned entity type each)
+// fit in budget bytes after the always-resident unpartitioned shards and
+// the controller's one-in-flight-shard allowance are set aside. Returns 0
+// when no budget is set or the budget cannot hold even one slot — callers
+// treat both as "nothing to optimise against". This is the single pricing
+// the trainer, pbg-train's startup line, and pbg-node's lock role all use,
+// so the order the lock server installs is optimized for exactly the
+// buffer the trainers' caches will sustain.
+func BufferSlotsFor(schema *graph.Schema, dim int, budget int64) int {
+	if budget <= 0 {
+		return 0
+	}
+	var static, slotBytes, maxShard int64
+	for ti, e := range schema.Entities {
+		// Partition 0 is never smaller than later partitions, so pricing
+		// slots at p=0 under-counts nothing.
+		b := storage.ProjectedShardBytes(schema, dim, ti, 0)
+		if b > maxShard {
+			maxShard = b
+		}
+		if e.Partitioned() {
+			slotBytes += b
+		} else {
+			static += b
+		}
+	}
+	if slotBytes <= 0 {
+		return 0
+	}
+	free := budget - static - maxShard
+	if free < 0 {
+		return 0
+	}
+	return int(free / slotBytes)
+}
+
+// bufferSlots is BufferSlotsFor over the trainer's own schema and budget.
+func (t *Trainer) bufferSlots() int {
+	return BufferSlotsFor(t.g.Schema, t.cfg.Dim, t.cfg.MemBudgetBytes)
+}
+
+// buildOrder constructs the trainer's bucket order. For "budget_aware" it
+// prices the partition buffer the budget affords via bufferSlots and lets
+// partition.OrderForBuffer optimise the inside-out base order against it;
+// with no budget (or one too tight to hold a single partition) that
+// degrades to plain inside-out, matching the documented Config.BucketOrder
+// contract.
+func (t *Trainer) buildOrder() ([]partition.Bucket, error) {
+	slots := 0
+	if t.cfg.BucketOrder == partition.OrderBudgetAware {
+		slots = t.bufferSlots()
+	}
+	return partition.OrderForBuffer(t.cfg.BucketOrder, t.nSrc, t.nDst, t.cfg.Seed, slots)
+}
+
+// BufferSlots reports how many resident partition slots the configured
+// memory budget affords (0 = unbudgeted); it is the capacity the
+// budget_aware order optimises against, exposed for tests and benchmarks.
+// CLIs without a Trainer in hand use BufferSlotsFor directly.
+func (t *Trainer) BufferSlots() int { return t.bufferSlots() }

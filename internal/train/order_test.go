@@ -1,0 +1,80 @@
+package train
+
+import (
+	"testing"
+
+	"pbg/internal/datagen"
+	"pbg/internal/partition"
+	"pbg/internal/storage"
+)
+
+// orderTestTrainer builds a trainer over an 8-partition social graph with
+// the given order and budget (0 = unbudgeted), against a MemStore (these
+// tests exercise order construction, not I/O).
+func orderTestTrainer(t *testing.T, order string, budgetShards int) *Trainer {
+	t.Helper()
+	const nodes, parts, dim = 4000, 8, 16
+	g, err := datagen.Social(datagen.SocialConfig{
+		Nodes: nodes, AvgOutDegree: 4, NumPartitions: parts, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Dim: dim, Seed: 3, BucketOrder: order, Epochs: 1}
+	if budgetShards > 0 {
+		cfg.MemBudgetBytes = int64(budgetShards) * storage.ProjectedShardBytes(g.Schema, dim, 0, 0)
+	}
+	tr, err := New(g, storage.NewMemStore(g.Schema, dim, 7, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBudgetAwareOrderUsesBudgetSlots(t *testing.T) {
+	// Budget of 5 shards: one is the in-flight allowance, leaving 4 buffer
+	// slots for the single partitioned entity type.
+	tr := orderTestTrainer(t, partition.OrderBudgetAware, 5)
+	if got := tr.BufferSlots(); got != 4 {
+		t.Fatalf("BufferSlots = %d, want 4", got)
+	}
+	slots := tr.BufferSlots()
+	io, _ := partition.Order(partition.OrderInsideOut, 8, 8, 0)
+	ioCost := partition.SwapCostUnderBuffer(io, slots)
+	baCost := partition.SwapCostUnderBuffer(tr.Buckets(), slots)
+	t.Logf("slots=%d: inside_out %d loads, trainer order %d loads", slots, ioCost, baCost)
+	if baCost >= ioCost {
+		t.Fatalf("budget_aware trainer order costs %d loads, inside_out %d", baCost, ioCost)
+	}
+	if !partition.CheckInvariant(tr.Buckets()) {
+		t.Fatal("trainer order violates the initialisation invariant")
+	}
+}
+
+func TestBudgetAwareOrderDegradesWithoutBudget(t *testing.T) {
+	tr := orderTestTrainer(t, partition.OrderBudgetAware, 0)
+	if got := tr.BufferSlots(); got != 0 {
+		t.Fatalf("BufferSlots = %d without a budget, want 0", got)
+	}
+	io, _ := partition.Order(partition.OrderInsideOut, 8, 8, 0)
+	for i, b := range tr.Buckets() {
+		if b != io[i] {
+			t.Fatalf("unbudgeted budget_aware order diverges from inside_out at %d: %v vs %v", i, b, io[i])
+		}
+	}
+}
+
+func TestBudgetAwareOrderTrains(t *testing.T) {
+	tr := orderTestTrainer(t, partition.OrderBudgetAware, 5)
+	st, err := tr.TrainEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Edges == 0 || st.Loss == 0 {
+		t.Fatalf("epoch trained nothing: %+v", st)
+	}
+	// Every bucket of the 8×8 grid must still be visited exactly once.
+	if len(tr.Buckets()) != 64 {
+		t.Fatalf("order has %d buckets, want 64", len(tr.Buckets()))
+	}
+}

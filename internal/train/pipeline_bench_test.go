@@ -5,17 +5,21 @@ import (
 	"testing"
 
 	"pbg/internal/datagen"
+	"pbg/internal/partition"
 	"pbg/internal/storage"
 )
 
 // BenchmarkEpochPipeline measures epoch throughput (edges/s), the IOWait
-// share, and the resident high-water on a multi-partition DiskStore in
-// three modes: the pipelined executor with an unbounded budget ("on"), the
-// serial baseline ("off"), and the adaptive controller under a budget that
-// admits roughly two buckets of shards ("budget") — the configuration the
-// memory-budget acceptance numbers come from. The graph is sized so shard
-// I/O is a visible fraction of epoch time: many nodes (big shards to
-// serialise) over comparatively few edges.
+// share, the resident high-water, and the store's forced evictions on a
+// multi-partition DiskStore in four modes: the pipelined executor with an
+// unbounded budget ("on"), the serial baseline ("off"), the adaptive
+// controller under a budget that admits roughly two buckets of shards
+// ("budget") — the configuration the memory-budget acceptance numbers come
+// from — and that same budget with the budget-aware bucket ordering
+// ("budget_order"), which must cut forcedEvicts versus "budget" at
+// identical MemBudgetBytes. The graph is sized so shard I/O is a visible
+// fraction of epoch time: many nodes (big shards to serialise) over
+// comparatively few edges.
 func BenchmarkEpochPipeline(b *testing.B) {
 	nodes, degree, dim := 24_000, 3, 64
 	if testing.Short() {
@@ -23,7 +27,7 @@ func BenchmarkEpochPipeline(b *testing.B) {
 	}
 	const parts = 8
 	perShard := int64((nodes+parts-1)/parts) * int64(dim+1) * 4
-	for _, mode := range []string{"on", "off", "budget"} {
+	for _, mode := range []string{"on", "off", "budget", "budget_order"} {
 		b.Run(fmt.Sprintf("pipeline=%s", mode), func(b *testing.B) {
 			g, err := datagen.Social(datagen.SocialConfig{
 				Nodes: nodes, AvgOutDegree: degree, NumPartitions: parts, Seed: 11,
@@ -48,6 +52,12 @@ func BenchmarkEpochPipeline(b *testing.B) {
 				// widen to 3 if the projection fits.
 				cfg.MemBudgetBytes = 5 * perShard
 				cfg.Lookahead, cfg.MaxLookahead = 1, 3
+			case "budget_order":
+				// Same budget, but the bucket sequence is optimized against
+				// the 4-slot buffer it affords.
+				cfg.MemBudgetBytes = 5 * perShard
+				cfg.Lookahead, cfg.MaxLookahead = 1, 3
+				cfg.BucketOrder = partition.OrderBudgetAware
 			}
 			tr, err := New(g, store, cfg)
 			if err != nil {
@@ -74,8 +84,9 @@ func BenchmarkEpochPipeline(b *testing.B) {
 				b.ReportMetric(float64(edges)/total, "edges/s")
 				b.ReportMetric(100*ioWait/total, "iowait%")
 				b.ReportMetric(float64(highWater)/(1<<20), "residentMB")
+				b.ReportMetric(float64(store.IOStats().ForcedEvicts)/float64(b.N), "forcedEvicts")
 			}
-			if mode == "budget" && highWater > cfg.MemBudgetBytes+perShard {
+			if (mode == "budget" || mode == "budget_order") && highWater > cfg.MemBudgetBytes+perShard {
 				b.Fatalf("resident high-water %d exceeded budget %d + allowance", highWater, cfg.MemBudgetBytes)
 			}
 		})

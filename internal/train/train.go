@@ -4,6 +4,33 @@
 // store, shuffles the bucket's edges, and trains them on a pool of HOGWILD
 // workers with no synchronisation on the embedding rows (Recht et al. 2011),
 // using the batched negative sampling of §4.3.
+//
+// The epoch executor is pipelined unless Config.PipelineOff is set: while
+// one bucket trains, the shards the next buckets need prefetch on the
+// store's background I/O pool and no-longer-needed shards write back
+// asynchronously. Four Config knobs govern how far that pipeline may run
+// ahead and how much memory it may hold:
+//
+//   - Lookahead is the initial prefetch depth — how many buckets ahead
+//     shard hints are issued while the current bucket trains.
+//   - MaxLookahead caps the adaptive controller (controller.go), which
+//     moves the live depth within [0, MaxLookahead] between epochs:
+//     widening while the measured IOWait share stays above 5% and the
+//     projected window fits the budget, narrowing when the budget binds.
+//   - MemBudgetBytes bounds the resident shard bytes: it is plumbed into
+//     stores implementing SetMaxResidentBytes (storage.DiskStore, the
+//     distributed checkout cache), bounds the controller's window
+//     projections, and prices the partition buffer that the
+//     "budget_aware" BucketOrder optimises against (order.go).
+//   - PipelineOff restores the serial acquire/train/release baseline the
+//     EpochStats.IOWait numbers are judged against.
+//
+// Each epoch reports an EpochStats: Loss/Edges/Duration for convergence
+// tracking; PartitionIO (swap-ins this epoch) and IOWait vs Compute for the
+// I/O-overlap split; Lookahead, LookaheadAction ("widen"/"narrow"/"hold")
+// and ResidentHighWater for the controller's per-epoch decision trail; and
+// PeakResident for the run-wide memory high-water the paper's Tables 3–4
+// memory columns track.
 package train
 
 import (
@@ -57,7 +84,11 @@ type Config struct {
 	// Reciprocal enables separate reverse relation parameters (the
 	// 'reciprocal predicates' used for FB15k ComplEx, §5.4.1).
 	Reciprocal bool
-	// BucketOrder: "inside_out" (default), "sequential", "random", "chained".
+	// BucketOrder: "inside_out" (default), "sequential", "random",
+	// "chained", or "budget_aware". The last optimises the bucket sequence
+	// against the partition buffer MemBudgetBytes affords (Marius-style
+	// buffer-aware ordering, minimising projected swaps and hence forced
+	// evictions); with no budget set it degrades to inside_out.
 	BucketOrder string
 	// PipelineOff disables the pipelined epoch executor: buckets then swap
 	// their partitions in and out serially (the pre-pipeline behaviour),
@@ -286,7 +317,7 @@ func New(g *graph.Graph, store storage.Store, cfg Config) (*Trainer, error) {
 	t.nSrc, t.nDst = bucketDims(g.Schema)
 	t.edges = g.Edges.Clone()
 	t.ranges = graph.SortByBucket(g.Schema, t.edges, t.nSrc, t.nDst)
-	order, err := partition.Order(cfg.BucketOrder, t.nSrc, t.nDst, cfg.Seed)
+	order, err := t.buildOrder()
 	if err != nil {
 		return nil, err
 	}
