@@ -106,7 +106,7 @@ func main() {
 	}
 	if all || want["ordering"] {
 		rep, err := bench.OrderingSweep(scale)
-		report(rep, []string{"proj_swaps", "forced_evicts", "iowait%", "edges/s"}, err)
+		report(rep, []string{"proj_swaps", "forced_evicts", "iowait%", "edges/s", "order_ms"}, err)
 	}
 	if all || want["ablations"] {
 		rep, err := bench.AblationAlpha(scale)

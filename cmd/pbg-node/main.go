@@ -66,6 +66,9 @@ func main() {
 		// caches — over the synthetic graph's schema (-nodes rows across
 		// -partitions partitions at -dim), so those flags must match the
 		// trainer processes for the two projections to agree.
+		if *nParts <= 0 {
+			log.Fatalf("lock role needs a positive -partitions, got %d", *nParts)
+		}
 		bufSlots := *slots
 		if bufSlots == 0 && memBudget > 0 && *nParts > 1 {
 			schema, err := graph.NewSchema(
@@ -77,19 +80,25 @@ func main() {
 			}
 			bufSlots = train.BufferSlotsFor(schema, *dim, memBudget)
 		}
-		order, err := partition.OrderForBuffer(*orderBy, *nParts, *nParts, *seed, bufSlots)
-		if err != nil {
-			log.Fatal(err)
-		}
+		var order []partition.Bucket
 		if *orderBy == partition.OrderBudgetAware {
+			// Plan once: the plan carries both the order the lock server
+			// installs and the strategy/cost fields the startup line prints
+			// (replanning through OrderForBuffer would redo the greedy
+			// search and both closed forms).
+			plan := partition.PlanBudgetAware(*nParts, *nParts, bufSlots)
+			order = plan.Order
 			if bufSlots > 0 {
-				fmt.Printf("budget_aware order over %d buffer slots: %d projected loads (inside_out: %d)\n",
-					bufSlots, partition.SwapCostUnderBuffer(order, bufSlots), func() int {
-						io, _ := partition.Order(partition.OrderInsideOut, *nParts, *nParts, 0)
-						return partition.SwapCostUnderBuffer(io, bufSlots)
-					}())
+				fmt.Printf("budget_aware order over %d buffer slots: %s strategy, %d projected loads (inside_out: %d)\n",
+					bufSlots, plan.Strategy, plan.Cost, plan.BaseCost)
 			} else {
 				fmt.Println("budget_aware: no usable -mem-budget or -buffer-slots; order degrades to inside_out")
+			}
+		} else {
+			var err error
+			order, err = partition.OrderForBuffer(*orderBy, *nParts, *nParts, *seed, bufSlots)
+			if err != nil {
+				log.Fatal(err)
 			}
 		}
 		serveForever(*listen, map[string]any{"LockServer": dist.NewLockServer(order)})

@@ -70,10 +70,19 @@ func main() {
 		BucketOrder: *order,
 	}
 	if *order == partition.OrderBudgetAware {
-		if slots := train.BufferSlotsFor(g.Schema, *dim, budget); slots > 0 {
-			fmt.Printf("budget_aware order: optimising against %d resident partition slots from -mem-budget\n", slots)
-		} else {
+		plan, slots := train.PlanOrderFor(g.Schema, *dim, budget)
+		switch {
+		case slots <= 0:
 			fmt.Println("budget_aware: no usable -mem-budget; order degrades to inside_out")
+		case plan.Strategy != partition.StrategyInsideOut:
+			fmt.Printf("budget_aware order: %s strategy over %d resident partition slots from -mem-budget (%d projected loads vs %d inside_out)\n",
+				plan.Strategy, slots, plan.Cost, plan.BaseCost)
+		case plan.Cost == 0:
+			// An unbounded plan: zero cost means the buffer holds the grid.
+			fmt.Printf("budget_aware: %d resident partition slots hold every partition; inside_out is already optimal\n", slots)
+		default:
+			fmt.Printf("budget_aware: keeping inside_out (no candidate beat its %d projected loads over %d resident partition slots)\n",
+				plan.BaseCost, slots)
 		}
 	}
 	onEpoch := func(st train.EpochStats) {

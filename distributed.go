@@ -54,7 +54,13 @@ func TrainDistributed(g *Graph, cfg DistributedConfig) (*DistributedResult, erro
 			nDst = p
 		}
 	}
-	order, err := partition.Order(cfg.Train.BucketOrder, nSrc, nDst, cfg.Train.Seed)
+	// "budget_aware" needs the resident partition slot count the training
+	// budget affords — priced by the same formula the trainers' checkout
+	// caches use, so the cluster's lock server leases the order that was
+	// optimised for the buffer the machines will actually sustain. Other
+	// order names ignore slots.
+	slots := train.BufferSlotsFor(g.Schema, cfg.Train.Dim, cfg.Train.MemBudgetBytes)
+	order, err := partition.OrderForBuffer(cfg.Train.BucketOrder, nSrc, nDst, cfg.Train.Seed, slots)
 	if err != nil {
 		return nil, err
 	}

@@ -198,9 +198,10 @@ func TestOrderingSweepShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Log("\n" + rep.Format([]string{"proj_swaps", "forced_evicts", "iowait%", "edges/s"}))
-	if len(rep.Rows) != 6 {
-		t.Fatalf("want 6 rows, got %d", len(rep.Rows))
+	t.Log("\n" + rep.Format([]string{"proj_swaps", "forced_evicts", "iowait%", "edges/s", "order_ms"}))
+	// 6 trained rows (3 slot counts × 2 orders) + 6 large-P projection rows.
+	if len(rep.Rows) != 12 {
+		t.Fatalf("want 12 rows, got %d", len(rep.Rows))
 	}
 	var ioEvicts, baEvicts float64
 	for _, slots := range []int{3, 4, 6} {
@@ -226,6 +227,31 @@ func TestOrderingSweepShape(t *testing.T) {
 	// prefetch-timing noise in any single cell).
 	if baEvicts > ioEvicts {
 		t.Errorf("budget_aware forced %.0f evictions vs inside_out %.0f across the sweep", baEvicts, ioEvicts)
+	}
+	// Large-grid projection rows: the closed-form path must beat inside_out
+	// and order in milliseconds (generous bound for slow CI machines; the
+	// greedy search it replaces takes ~0.7s at P=96 alone).
+	for _, p := range []int{64, 96, 128} {
+		io, ok := rep.FindRow(fmt.Sprintf("inside_out P=%d slots=8", p))
+		if !ok {
+			t.Fatalf("missing inside_out large-P row for P=%d", p)
+		}
+		var ba Row
+		ok = false
+		for _, row := range rep.Rows {
+			if strings.HasPrefix(row.Label, "budget_aware(") && strings.HasSuffix(row.Label, fmt.Sprintf("P=%d slots=8", p)) {
+				ba, ok = row, true
+			}
+		}
+		if !ok {
+			t.Fatalf("missing budget_aware large-P row for P=%d", p)
+		}
+		if ba.Value("proj_swaps") >= io.Value("proj_swaps") {
+			t.Errorf("P=%d: budget_aware proj_swaps %.0f not below inside_out %.0f", p, ba.Value("proj_swaps"), io.Value("proj_swaps"))
+		}
+		if ms := ba.Value("order_ms"); ms > 500 {
+			t.Errorf("P=%d: ordering took %.0fms, want milliseconds", p, ms)
+		}
 	}
 }
 

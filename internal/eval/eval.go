@@ -16,7 +16,10 @@ import (
 	"pbg/internal/vec"
 )
 
-// Metrics aggregates ranking results.
+// Metrics aggregates ranking results. Ranks are mid-rank tie-adjusted
+// (see rankSide), so MR and the rank thresholds behind MRR/Hits@K are
+// fractional-rank-aware: a candidate scoring exactly the true score
+// contributes half a rank position.
 type Metrics struct {
 	MRR    float64 // mean reciprocal rank
 	MR     float64 // mean rank
@@ -30,9 +33,9 @@ func (m Metrics) String() string {
 	return fmt.Sprintf("MRR %.3f  MR %.1f  Hits@1 %.3f  Hits@10 %.3f  (n=%d)", m.MRR, m.MR, m.Hits1, m.Hits10, m.Count)
 }
 
-func (m *Metrics) add(rank int) {
-	m.MRR += 1 / float64(rank)
-	m.MR += float64(rank)
+func (m *Metrics) add(rank float64) {
+	m.MRR += 1 / rank
+	m.MR += rank
 	if rank <= 1 {
 		m.Hits1++
 	}
@@ -168,8 +171,15 @@ func (rk *Ranker) Evaluate(test *graph.EdgeList, cfg Config) (Metrics, error) {
 
 // rankSide ranks the true endpoint among candidates on one side.
 // corruptSource false: candidates replace d; true: candidates replace s.
+//
+// Ties are handled with the mid-rank convention: rank = 1 + |{score >
+// true}| + |{score = true}|/2. The optimistic rank (counting only strict
+// wins) silently inflated the metrics — a degenerate scorer emitting one
+// constant value tied every candidate and walked away with a perfect
+// MRR/Hits@1, when its true ranking power is chance. Under mid-rank that
+// scorer gets rank 1+K/2, i.e. MRR ≈ 2/(K+2), which a test pins.
 func (rk *Ranker) rankSide(r *rng.RNG, cfg Config, aliasFor func(int) (*rng.Alias, error),
-	rel, s, d int32, candType int, srcEmb, dstEmb []float32, corruptSource bool) (int, error) {
+	rel, s, d int32, candType int, srcEmb, dstEmb []float32, corruptSource bool) (float64, error) {
 
 	sc := rk.scorers.Scorer(int(rel))
 	params := rk.scorers.RelParams(int(rel))
@@ -247,13 +257,16 @@ func (rk *Ranker) rankSide(r *rng.RNG, cfg Config, aliasFor func(int) (*rng.Alia
 	} else {
 		sc.ScoreMany(scores, srcEmb, params, cand)
 	}
-	rank := 1
+	greater, equal := 0, 0
 	for _, v := range scores {
-		if v > trueScore {
-			rank++
+		switch {
+		case v > trueScore:
+			greater++
+		case v == trueScore:
+			equal++
 		}
 	}
-	return rank, nil
+	return 1 + float64(greater) + float64(equal)/2, nil
 }
 
 // Curve records a learning curve: MRR over epochs with wallclock stamps

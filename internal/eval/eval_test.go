@@ -215,3 +215,85 @@ func TestMeanStd(t *testing.T) {
 var _ EmbeddingSource = (*train.View)(nil)
 var _ ScorerSource = (*train.Trainer)(nil)
 var _ = model.Masked // keep import for interface assertions above
+
+// A degenerate scorer emitting one constant value ties every candidate
+// with the true edge. The optimistic rank (1 + strict wins) scored that as
+// a perfect MRR of 1.0; mid-rank tie handling must give rank 1+K/2, i.e.
+// MRR ≈ 2/(K+2).
+func TestConstantScorerMidRankMRR(t *testing.T) {
+	g, err := datagen.Social(datagen.SocialConfig{Nodes: 500, AvgOutDegree: 8, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// initScale 0 zeroes every embedding, so the dot comparator scores all
+	// pairs identically — the constant scorer.
+	store := storage.NewMemStore(g.Schema, 16, 9, 0)
+	tr, err := train.New(g, store, train.Config{Dim: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := tr.NewView()
+	defer view.Close()
+	rk := NewRanker(tr.Schema(), view, tr, 16, nil)
+	const k = 100
+	m, err := rk.Evaluate(g.Edges, Config{Mode: CandidatesUniform, K: k, MaxEdges: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 / (k + 2)
+	// Uniform candidates occasionally collide with the true id and are
+	// dropped, so the per-edge candidate count wobbles just below K.
+	if m.MRR < want*0.9 || m.MRR > want*1.1 {
+		t.Fatalf("constant scorer MRR = %.4f, want ≈ %.4f (2/(K+2)); optimistic tie-ranking would give 1.0", m.MRR, want)
+	}
+	if m.Hits1 != 0 {
+		t.Fatalf("constant scorer Hits@1 = %.3f, want 0 (rank 1+K/2 is far past 1)", m.Hits1)
+	}
+	if m.MR < float64(k)/2*0.9 {
+		t.Fatalf("constant scorer MR = %.1f, want ≈ 1+K/2", m.MR)
+	}
+}
+
+// End-to-end smoke for schemas whose ceil-division partition sizes leave a
+// trailing partition empty (Count=6 over 4 partitions → sizes 2,2,2,0):
+// training over a DiskStore (zero-row shards swap through disk) and
+// evaluating must work without panics.
+func TestEmptyTrailingPartitionTrainsAndEvaluates(t *testing.T) {
+	schema := graph.MustSchema(
+		[]graph.EntityType{{Name: "n", Count: 6, NumPartitions: 4}},
+		[]graph.RelationType{{Name: "r", SourceType: "n", DestType: "n", Operator: "identity"}},
+	)
+	el := &graph.EdgeList{}
+	for i := int32(0); i < 6; i++ {
+		for j := int32(0); j < 6; j++ {
+			if i != j {
+				el.Append(i, 0, j)
+			}
+		}
+	}
+	g := graph.MustGraph(schema, el)
+	store, err := storage.NewDiskStore(t.TempDir(), schema, 8, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	tr, err := train.New(g, store, train.Config{Dim: 8, Epochs: 2, Seed: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	view := tr.NewView()
+	defer view.Close()
+	rk := NewRanker(schema, view, tr, 8, graph.ComputeDegrees(g))
+	for _, mode := range []CandidateMode{CandidatesAll, CandidatesUniform, CandidatesPrevalence} {
+		m, err := rk.Evaluate(g.Edges, Config{Mode: mode, K: 4, Seed: 2, BothSides: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Count == 0 {
+			t.Fatalf("mode %d evaluated nothing", mode)
+		}
+	}
+}

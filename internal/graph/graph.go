@@ -11,6 +11,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"pbg/internal/rng"
@@ -104,6 +105,12 @@ func NewSchema(entities []EntityType, relations []RelationType) (*Schema, error)
 		}
 		if e.Count <= 0 {
 			return nil, fmt.Errorf("graph: entity %q has non-positive count %d", e.Name, e.Count)
+		}
+		// Entity IDs are int32 throughout (edge columns, samplers,
+		// evaluation candidates); a larger count would make int32(id)
+		// casts wrap negative far from here, so reject it at the door.
+		if e.Count > math.MaxInt32 {
+			return nil, fmt.Errorf("graph: entity %q count %d exceeds the int32 entity-ID limit (%d); shard the type into more entity types instead", e.Name, e.Count, math.MaxInt32)
 		}
 		if e.NumPartitions <= 0 {
 			return nil, fmt.Errorf("graph: entity %q has non-positive partitions %d", e.Name, e.NumPartitions)

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"math"
+	"strconv"
 	"testing"
 	"testing/quick"
 
@@ -324,5 +326,30 @@ func TestEffectiveWeight(t *testing.T) {
 	}
 	if (RelationType{Weight: 2.5}).EffectiveWeight() != 2.5 {
 		t.Fatal("explicit weight not honoured")
+	}
+}
+
+// Entity IDs are int32 everywhere (edge columns, eval's int32(r.Intn(count)),
+// sampling's partition bounds); counts past MaxInt32 would wrap those casts
+// negative, so NewSchema must reject them up front.
+func TestNewSchemaRejectsOverInt32Counts(t *testing.T) {
+	if strconv.IntSize < 64 {
+		t.Skip("int cannot exceed int32 on this platform")
+	}
+	over := math.MaxInt32 // runtime increment: a MaxInt32+1 literal would not compile on 32-bit
+	over++
+	_, err := NewSchema(
+		[]EntityType{{Name: "n", Count: over, NumPartitions: 1}},
+		[]RelationType{{Name: "r", SourceType: "n", DestType: "n", Operator: "identity"}},
+	)
+	if err == nil {
+		t.Fatal("schema with Count > MaxInt32 accepted")
+	}
+	// MaxInt32 itself is the inclusive limit and stays valid.
+	if _, err := NewSchema(
+		[]EntityType{{Name: "n", Count: math.MaxInt32, NumPartitions: 1}},
+		[]RelationType{{Name: "r", SourceType: "n", DestType: "n", Operator: "identity"}},
+	); err != nil {
+		t.Fatalf("schema with Count = MaxInt32 rejected: %v", err)
 	}
 }

@@ -1,0 +1,47 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkOrderLargeP is the CI guard for large-grid ordering cost: it
+// runs in the short-mode bench smoke and FAILS (not just reports) if
+// OrderForBuffer("budget_aware", …) at P=96/128 either exceeds a generous
+// wall-time bound — the near-quadratic greedy search takes ~0.7s at P=96
+// and ~1.5s at P=128, so a fallback into it is unmistakable — or returns
+// an order costing more projected loads than inside-out. This pins both
+// the closed-form grouped/strided path and the planner's inside-out floor
+// against regressions.
+func BenchmarkOrderLargeP(b *testing.B) {
+	const slots = 8
+	for _, p := range []int{96, 128} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var cost, baseCost int
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				ord, err := OrderForBuffer(OrderBudgetAware, p, p, 0, slots)
+				elapsed = time.Since(start)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if elapsed > 500*time.Millisecond {
+					b.Fatalf("ordering P=%d took %v; want milliseconds (greedy fallback?)", p, elapsed)
+				}
+				if !CheckInvariant(ord) {
+					b.Fatalf("P=%d: order violates the initialisation invariant", p)
+				}
+				cost = SwapCostUnderBuffer(ord, slots)
+				baseCost = SwapCostUnderBuffer(insideOut(p, p), slots)
+				if cost > baseCost {
+					b.Fatalf("P=%d: budget_aware %d projected loads worse than inside_out %d", p, cost, baseCost)
+				}
+			}
+			b.ReportMetric(float64(elapsed.Microseconds())/1000, "orderMs")
+			b.ReportMetric(float64(cost), "projLoads")
+			b.ReportMetric(float64(baseCost), "insideOutLoads")
+		})
+	}
+}

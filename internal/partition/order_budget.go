@@ -56,6 +56,12 @@ func distinctParts(order []Bucket) int {
 // slots >= 2 this never exceeds SwapCount(order). LRU is a stack algorithm,
 // so the cost is also monotone non-increasing in slots (no Belady anomaly);
 // both properties are pinned by tests.
+//
+// Two partitions tie on the last-use stamp exactly when their final
+// touches came from the same bucket; the lower-numbered partition is then
+// evicted, so the simulated cost is a deterministic function of the order
+// (it used to fall through to map iteration order, which made tied-stamp
+// costs flicker between runs).
 func SwapCostUnderBuffer(order []Bucket, slots int) int {
 	if slots <= 0 {
 		return distinctParts(order)
@@ -75,12 +81,7 @@ func SwapCostUnderBuffer(order []Bucket, slots int) int {
 				// Evict LRU partitions not needed by this bucket until the
 				// newcomer fits.
 				for len(held) >= slots {
-					victim, victimUse := -1, int64(1<<62)
-					for q, use := range held {
-						if use < victimUse && q != b.P1 && q != b.P2 {
-							victim, victimUse = q, use
-						}
-					}
+					victim := lruVictim(held, b)
 					if victim < 0 {
 						break // everything held is needed right now
 					}
@@ -91,6 +92,22 @@ func SwapCostUnderBuffer(order []Bucket, slots int) int {
 		}
 	}
 	return loads
+}
+
+// lruVictim returns the least-recently-used partition in held that the
+// bucket does not need, breaking last-use-stamp ties by partition number
+// so the simulation is deterministic; -1 if every held partition is in use.
+func lruVictim(held map[int]int64, b Bucket) int {
+	victim, victimUse := -1, int64(1<<62)
+	for q, use := range held {
+		if q == b.P1 || q == b.P2 {
+			continue
+		}
+		if use < victimUse || (use == victimUse && q < victim) {
+			victim, victimUse = q, use
+		}
+	}
+	return victim
 }
 
 // optimizeGainCap bounds how many minimal-load candidates OptimizeOrder
@@ -140,12 +157,7 @@ func OptimizeOrder(order []Bucket, buffer CostModel) []Bucket {
 		for _, p := range b.Parts() {
 			if _, ok := held[p]; !ok {
 				for len(held) >= slots {
-					victim, victimUse := -1, int64(1<<62)
-					for q, use := range held {
-						if use < victimUse && q != b.P1 && q != b.P2 {
-							victim, victimUse = q, use
-						}
-					}
+					victim := lruVictim(held, b)
 					if victim < 0 {
 						break
 					}

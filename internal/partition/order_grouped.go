@@ -1,0 +1,536 @@
+package partition
+
+import "sort"
+
+// Closed-form BETA-style orderings (Marius, Mohoney et al., OSDI 2021) —
+// the large-grid complement to OptimizeOrder's greedy search. The greedy
+// optimiser walks every pending bucket per step, which is near-quadratic in
+// the bucket count: ordering a 96×96 grid takes ~0.7s, and its capped gain
+// heuristic stops finding the blocked structure on big grids (722 loads at
+// P=64 with 8 slots where the closed form needs under 400). The two
+// constructions below compute buffer-aware schedules directly in O(P²):
+//
+//   - GroupedOrder pins a group of partitions resident and rotates every
+//     earlier partition through the spare slots — strongest when the
+//     buffer is deep (slots ≥ ~6), where big pinned groups amortise well.
+//   - stridedOrder walks arithmetic progressions through the partitions so
+//     each arrival pairs with a sliding window of recent partitions —
+//     strongest when the buffer is shallow, where it keeps the full
+//     slots-1 pairing capacity that a pinned group cannot.
+//
+// PlanBudgetAware evaluates both (plus the greedy search on grids small
+// enough to afford it) under SwapCostUnderBuffer and returns the cheapest,
+// so OrderForBuffer("budget_aware", …) is never worse than inside-out and
+// costs milliseconds even at P=128.
+
+// groupedMinSlots is the smallest buffer the closed forms are defined for:
+// one pinned partition plus two rotating slots.
+const groupedMinSlots = 3
+
+// GroupedOrder returns all nSrc×nDst buckets in the closed-form grouped
+// (BETA-style) order for a machine holding `slots` partitions resident:
+// partitions are split into groups sized to the buffer; each group's
+// super-step first sweeps every earlier partition through the rotating
+// slots — so each group pair is visited exactly once, with one group
+// pinned and the other rotating — and then emits the group's intra-group
+// block while the group is still resident. The result is a permutation of
+// the full bucket grid that satisfies CheckInvariant: the first bucket of
+// every super-step after the first touches rotator 0, which was trained in
+// group 0's block.
+//
+// One subtlety separates this from the textbook BETA construction. Marius
+// pins slots-1 partitions and rotates the single remaining slot; under the
+// strict-LRU buffer that SwapCostUnderBuffer models, that schedule
+// thrashes — the rotating partition is always the most recently used, so
+// LRU evicts a pinned group member instead and reloads it a bucket later,
+// doubling the rotation cost. Pinning slots-2 and leaving TWO rotating
+// slots restores one-load-per-rotation behaviour: while rotator q_k sweeps
+// the group, its predecessor q_{k-1} stays resident and the one before
+// that, q_{k-2}, becomes the genuine LRU victim exactly when q_{k+1}
+// arrives. The smaller group costs ≈ P²/(2(slots-2)) loads instead of the
+// ideal P²/(2(slots-1)), but an LRU cache actually delivers it, which the
+// ideal pinned schedule cannot.
+//
+// With slots < 3, or a buffer that already holds every partition, there is
+// no rotation structure to exploit and the inside-out order is returned.
+func GroupedOrder(nSrc, nDst, slots int) []Bucket {
+	p := maxParts(nSrc, nDst)
+	if slots < groupedMinSlots || slots >= p {
+		return insideOut(nSrc, nDst)
+	}
+	groupSize := slots - 2
+	if slots == groupedMinSlots {
+		// With three slots, a pair group and a single rotating slot still
+		// run at one load per rotation: a rotator's last bucket stamps it
+		// and the second group member together, and SwapCostUnderBuffer
+		// breaks the tie toward the lower partition number — always the
+		// rotator, which comes from an earlier group. (For larger groups
+		// the mid-group members go stale mid-sweep and a single spare slot
+		// thrashes, hence slots-2 above.)
+		groupSize = 2
+	}
+	out := make([]Bucket, 0, nSrc*nDst)
+	add := func(b Bucket) {
+		if b.P1 < nSrc && b.P2 < nDst {
+			out = append(out, b)
+		}
+	}
+	for start := 0; start < p; start += groupSize {
+		end := start + groupSize
+		if end > p {
+			end = p
+		}
+		// Rotation sweeps: every partition trained in an earlier super-step
+		// rotates through the spare slots against the pinned group. The
+		// (g,q) and (q,g) buckets are interleaved so the rotator is touched
+		// on every bucket and the group members in ascending stamp order.
+		for q := 0; q < start; q++ {
+			for g := start; g < end; g++ {
+				add(Bucket{g, q})
+				add(Bucket{q, g})
+			}
+		}
+		// Intra-group block, emitted while the whole group is resident.
+		// The inside-out shell pattern keeps the §4.1 invariant within the
+		// block (group 0 has no rotation sweep to ground it).
+		for _, b := range insideOut(end-start, end-start) {
+			add(Bucket{start + b.P1, start + b.P2})
+		}
+	}
+	return out
+}
+
+// stridedOrder is the shallow-buffer closed form: a difference-cover walk.
+// Partitions are visited along arithmetic progressions (strides) through
+// 0..P-1; each arrival emits the buckets pairing it with its previous
+// slots-1 walk positions, oldest first, so under LRU the partition falling
+// out of the window is the genuine eviction victim and each arrival costs
+// one load while covering up to slots-1 new partition pairs — the full
+// P²/(2(slots-1)) BETA bound that a pinned group forfeits a slot to
+// approximate. A stride-d walk covers all partition pairs whose circular
+// difference is d, 2d, …, (slots-1)·d mod P, so a small greedy
+// difference cover (stride 1 first, which also grounds the §4.1 invariant
+// by emitting every diagonal bucket early) suffices to reach every pair;
+// buckets the walks miss (rectangular grids, wrap corners) are appended in
+// inside-out order at the end, when every partition has been seen.
+func stridedOrder(nSrc, nDst, slots int) []Bucket {
+	p := maxParts(nSrc, nDst)
+	if slots < groupedMinSlots || slots >= p {
+		return insideOut(nSrc, nDst)
+	}
+	w := slots - 1
+	strides := strideCover(p, w)
+
+	emitted := make(map[Bucket]bool, nSrc*nDst)
+	out := make([]Bucket, 0, nSrc*nDst)
+	emit := func(b Bucket) {
+		if b.P1 < nSrc && b.P2 < nDst && !emitted[b] {
+			emitted[b] = true
+			out = append(out, b)
+		}
+	}
+	for _, s := range strides {
+		g := gcd(s.d, p)
+		for c0 := 0; c0 < g; c0++ {
+			for i := 0; i < p/g; i++ {
+				x := (c0 + i*s.d) % p
+				for _, k := range s.ks {
+					pred := ((x-k*s.d)%p + p) % p
+					if pred != x {
+						emit(Bucket{x, pred})
+						emit(Bucket{pred, x})
+					}
+				}
+				// Diagonals land in the stride-1 walk (every partition is an
+				// arrival there), after the arrival's pair buckets so (x,x)
+				// never leads with an ungrounded partition; by the end of
+				// stride 1 every in-grid partition has appeared, grounding
+				// the §4.1 invariant for the remaining strides. Duplicates
+				// are skipped, so later strides pay nothing here.
+				emit(Bucket{x, x})
+			}
+		}
+	}
+	// Sweep up anything the walks missed (rectangular-grid corners), in
+	// inside-out order: every partition has appeared by now, so the
+	// invariant cannot break.
+	for _, b := range insideOut(nSrc, nDst) {
+		emit(b)
+	}
+	return out
+}
+
+// walkStride is one arithmetic progression of the strided walk: the stride
+// d plus the k-offsets whose difference classes this stride is credited
+// with, ordered so the walk emits each arrival's stalest predecessor first.
+type walkStride struct {
+	d  int
+	ks []int
+}
+
+// strideCover picks the walk strides: a set D ∋ 1 such that every circular
+// difference class 1..p/2 equals fold(k·d) for some d ∈ D, k ≤ w — so the
+// stride walks between them visit every partition pair. Each stride's walk
+// costs ~p loads, making |D| the dominant term of the strided order's
+// cost, so after a greedy cover (maximising newly covered classes per walk
+// arrival, with thrash-prone offset patterns penalised) the set is refined
+// by a deterministic local search: drop strides made redundant by later
+// picks, and replace any two strides whose unique contribution fits under
+// a single substitute. Everything is O(p²·w) or better, far below the walk
+// emission itself.
+func strideCover(p, w int) []walkStride {
+	fold := func(x int) int {
+		x %= p
+		if x > p/2 {
+			x = p - x
+		}
+		return x
+	}
+	classesOf := func(d int) []int {
+		out := make([]int, 0, w)
+		for k := 1; k <= w; k++ {
+			c := fold(k * d)
+			dup := c == 0
+			for _, prev := range out {
+				dup = dup || prev == c
+			}
+			if !dup {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	arrivalsOf := func(d int) int {
+		g := gcd(d, p)
+		if cycle := p / g; cycle > w {
+			return p + g*w
+		}
+		return p
+	}
+
+	covered := make([]bool, p/2+1)
+	uncovered := p / 2
+	strides := []int{}
+	addStride := func(d int) {
+		strides = append(strides, d)
+		for _, c := range classesOf(d) {
+			if !covered[c] {
+				covered[c] = true
+				uncovered--
+			}
+		}
+	}
+	// newKs returns the smallest k per class stride d would newly cover
+	// under the current coverage — the offsets its walk would emit.
+	newKs := func(d int) []int {
+		ks := []int{}
+		seen := map[int]bool{}
+		for k := 1; k <= w; k++ {
+			c := fold(k * d)
+			if c != 0 && !covered[c] && !seen[c] {
+				seen[c] = true
+				ks = append(ks, k)
+			}
+		}
+		return ks
+	}
+	factorMemo := map[string]float64{}
+	factorOf := func(ks []int) float64 {
+		key := make([]byte, len(ks))
+		for i, k := range ks {
+			key[i] = byte(k)
+		}
+		f, ok := factorMemo[string(key)]
+		if !ok {
+			f = walkLoadFactor(ks, w+1)
+			factorMemo[string(key)] = f
+		}
+		return f
+	}
+	addStride(1)
+	for uncovered > 0 {
+		best := 0
+		var bestScore float64
+		for d := 2; d <= p/2; d++ {
+			ks := newKs(d)
+			if len(ks) == 0 {
+				continue
+			}
+			cost := float64(arrivalsOf(d)) * factorOf(ks)
+			if score := float64(len(ks)) / cost; score > bestScore {
+				best, bestScore = d, score
+			}
+		}
+		if best == 0 {
+			break // cannot happen: any uncovered class c is covered by stride c
+		}
+		addStride(best)
+	}
+
+	// Local search. coverCount tracks how many chosen strides cover each
+	// class; a stride is droppable when nothing relies on it alone.
+	coverCount := make([]int, p/2+1)
+	for _, d := range strides {
+		for _, c := range classesOf(d) {
+			coverCount[c]++
+		}
+	}
+	uniqueTo := func(d int) []int {
+		out := []int{}
+		for _, c := range classesOf(d) {
+			if coverCount[c] == 1 {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	remove := func(i int) {
+		for _, c := range classesOf(strides[i]) {
+			coverCount[c]--
+		}
+		strides = append(strides[:i], strides[i+1:]...)
+	}
+	add := func(d int) {
+		strides = append(strides, d)
+		for _, c := range classesOf(d) {
+			coverCount[c]++
+		}
+	}
+	inSet := func(d int) bool {
+		for _, s := range strides {
+			if s == d {
+				return true
+			}
+		}
+		return false
+	}
+	// covers reports whether stride d covers every class in need.
+	covers := func(d int, need []int) bool {
+		for _, c := range need {
+			ok := false
+			for _, dc := range classesOf(d) {
+				if dc == c {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for improved := true; improved; {
+		improved = false
+		// Drop strides (never stride 1 — the walk that grounds the
+		// invariant) whose classes are all covered elsewhere.
+		for i := len(strides) - 1; i >= 1; i-- {
+			if len(uniqueTo(strides[i])) == 0 {
+				remove(i)
+				improved = true
+			}
+		}
+		// Replace two strides with one covering both unique contributions.
+	replace:
+		for i := 1; i < len(strides); i++ {
+			for j := i + 1; j < len(strides); j++ {
+				need := append(uniqueTo(strides[i]), uniqueTo(strides[j])...)
+				if len(need) > w {
+					continue
+				}
+				for d := 2; d <= p/2; d++ {
+					if !inSet(d) && covers(d, need) {
+						remove(j)
+						remove(i)
+						add(d)
+						improved = true
+						break replace
+					}
+				}
+			}
+		}
+	}
+
+	// Replay coverage in final stride order to credit each stride the
+	// classes it emits (smallest k per class), then order each stride's
+	// offsets stalest-predecessor-first for the walk.
+	for i := range covered {
+		covered[i] = false
+	}
+	out := make([]walkStride, 0, len(strides))
+	for _, d := range strides {
+		ks := newKs(d)
+		for _, c := range classesOf(d) {
+			covered[c] = true
+		}
+		if len(ks) > 0 {
+			out = append(out, walkStride{d: d, ks: orderKsByStaleness(ks)})
+		}
+	}
+	return out
+}
+
+// walkLoadFactor measures the steady-state loads-per-arrival of a stride
+// walk emitting the given k-offsets under an LRU buffer of `slots`
+// partitions. Offset patterns differ sharply here: a contiguous pattern
+// like {1,2,3} runs at one load per arrival, while a pattern with a hole —
+// say {2,3}, whose consecutive blocks need five distinct partitions in
+// four slots — mis-evicts a still-needed predecessor every arrival and
+// reloads it a bucket later, costing over twice as much. Deriving the
+// distinction analytically is error-prone, and the walk's behaviour is
+// invariant under stride scaling, so the factor is measured directly: a
+// canonical stride-1 walk is simulated against the same LRU model
+// SwapCostUnderBuffer uses and the second half's load rate is returned.
+// strideCover divides each candidate's class gain by this factor so the
+// cover is priced in actual loads, not walk length.
+func walkLoadFactor(ks []int, slots int) float64 {
+	ordered := orderKsByStaleness(ks)
+	maxK := 0
+	for _, k := range ordered {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	n := 8 * (slots + maxK) // warm-up plus measurement window
+	held := map[int]int64{}
+	var clock int64
+	loads, counting := 0, false
+	touch := func(b Bucket) {
+		clock++
+		for _, q := range b.Parts() {
+			if _, ok := held[q]; !ok {
+				if counting {
+					loads++
+				}
+				for len(held) >= slots {
+					victim := lruVictim(held, b)
+					if victim < 0 {
+						break
+					}
+					delete(held, victim)
+				}
+			}
+			held[q] = clock
+		}
+	}
+	warmup := n / 2
+	for x := 0; x < n; x++ {
+		counting = x >= warmup
+		for _, k := range ordered {
+			if x-k >= 0 {
+				touch(Bucket{x, x - k})
+				touch(Bucket{x - k, x})
+			}
+		}
+	}
+	if loads == 0 {
+		return 1
+	}
+	return float64(loads) / float64(n-warmup)
+}
+
+// orderKsByStaleness orders a stride's k-offsets so each arrival's stalest
+// predecessor is emitted first: the predecessor at offset k was last
+// touched k-prev(k) arrivals ago (prev(k) being the largest smaller offset
+// in K∪{0}), and pairing it in the arrival's first bucket keeps the LRU
+// eviction scan off it, so the eviction lands on the partition that is
+// genuinely done.
+func orderKsByStaleness(ks []int) []int {
+	in := map[int]bool{0: true}
+	for _, k := range ks {
+		in[k] = true
+	}
+	staleness := func(k int) int {
+		for j := k - 1; j >= 0; j-- {
+			if in[j] {
+				return k - j
+			}
+		}
+		return k
+	}
+	out := append([]int(nil), ks...)
+	sort.Slice(out, func(a, b int) bool {
+		sa, sb := staleness(out[a]), staleness(out[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return out[a] > out[b]
+	})
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func maxParts(nSrc, nDst int) int {
+	if nSrc > nDst {
+		return nSrc
+	}
+	return nDst
+}
+
+// greedyOrderMaxBuckets caps the grid size on which PlanBudgetAware still
+// runs the greedy OptimizeOrder search. The search is near-quadratic in
+// the bucket count (~20ms at 32×32, ~0.7s at 96×96, ~1.5s at 128×128);
+// past this cutoff only the O(P²) closed forms compete, keeping
+// budget_aware ordering in the low milliseconds on the grids the paper
+// targets. The cutoff sits past the measured crossover (~P=32 square)
+// where the closed forms start beating the capped greedy search anyway.
+const greedyOrderMaxBuckets = 1024
+
+// Strategies PlanBudgetAware chooses between, recorded in OrderPlan.
+const (
+	StrategyInsideOut = "inside_out"
+	StrategyGreedy    = "greedy"
+	StrategyGrouped   = "grouped"
+	StrategyStrided   = "strided"
+)
+
+// OrderPlan is the outcome of planning a budget_aware order: the chosen
+// bucket sequence plus how it was chosen, for CLIs and benchmarks that
+// want to report the decision.
+type OrderPlan struct {
+	Order    []Bucket
+	Strategy string // StrategyInsideOut, StrategyGreedy, StrategyGrouped or StrategyStrided
+	Cost     int    // SwapCostUnderBuffer(Order, Slots)
+	BaseCost int    // inside_out's cost under the same buffer
+	Slots    int
+}
+
+// PlanBudgetAware builds the budget_aware order for an nSrc×nDst bucket
+// grid and a buffer of `slots` resident partitions, and reports which
+// strategy won. Candidates are the closed-form grouped and strided orders
+// and — on grids of at most greedyOrderMaxBuckets buckets — the greedy
+// OptimizeOrder search; each is priced with SwapCostUnderBuffer and the
+// cheapest wins, with inside-out as the floor (so the result never costs
+// more than the default order). A closed form is chosen over the greedy
+// search only by strictly beating it. With slots <= 0 or a buffer that
+// already holds every partition there is nothing to optimise and the plan
+// is inside-out.
+func PlanBudgetAware(nSrc, nDst, slots int) OrderPlan {
+	base := insideOut(nSrc, nDst)
+	plan := OrderPlan{Order: base, Strategy: StrategyInsideOut, Slots: slots}
+	if slots <= 0 || !(CostModel{Slots: slots}).Bounded(base) {
+		return plan
+	}
+	plan.BaseCost = SwapCostUnderBuffer(base, slots)
+	plan.Cost = plan.BaseCost
+	consider := func(order []Bucket, strategy string) {
+		if c := SwapCostUnderBuffer(order, slots); c < plan.Cost {
+			plan.Order, plan.Strategy, plan.Cost = order, strategy, c
+		}
+	}
+	if len(base) <= greedyOrderMaxBuckets {
+		consider(OptimizeOrder(base, CostModel{Slots: slots}), StrategyGreedy)
+	}
+	// Strict improvement required: on a cost tie the earlier candidate is
+	// kept, so a closed form displaces the greedy search (or inside-out)
+	// only by winning outright.
+	consider(stridedOrder(nSrc, nDst, slots), StrategyStrided)
+	consider(GroupedOrder(nSrc, nDst, slots), StrategyGrouped)
+	return plan
+}

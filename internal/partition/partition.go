@@ -51,9 +51,12 @@ const (
 	OrderRandom     = "random"
 	OrderChained    = "chained"
 	// OrderBudgetAware optimises the bucket sequence against a bounded
-	// partition buffer (Marius-style BETA ordering): see OrderForBuffer.
-	// Through plain Order — which has no buffer size to optimise against —
-	// it degrades to inside_out, the best fixed order.
+	// partition buffer (Marius-style BETA ordering): see OrderForBuffer and
+	// PlanBudgetAware, which picks the cheapest of the greedy search (small
+	// grids only) and the closed-form grouped/strided schedules under the
+	// SwapCostUnderBuffer model. Through plain Order — which has no buffer
+	// size to optimise against — it degrades to inside_out, the best fixed
+	// order.
 	OrderBudgetAware = "budget_aware"
 )
 
@@ -68,10 +71,12 @@ func Order(name string, nSrc, nDst int, seed uint64) ([]Bucket, error) {
 // OrderForBuffer is Order parameterized by the partition buffer capacity:
 // slots is how many partitions the training machine can hold resident at
 // once (e.g. train.Config.MemBudgetBytes divided by the per-partition shard
-// bytes). Only "budget_aware" consults it — the inside-out base order is
-// reordered by OptimizeOrder to minimise projected loads under an LRU
-// buffer of that size. With slots <= 0 (no budget) or a buffer that already
-// holds every partition, budget_aware degrades to inside_out.
+// bytes). Only "budget_aware" consults it — PlanBudgetAware picks the
+// cheapest of the greedy OptimizeOrder search (grids small enough to
+// afford it) and the closed-form grouped/strided BETA schedules, projected
+// under an LRU buffer of that size. With slots <= 0 (no budget) or a
+// buffer that already holds every partition, budget_aware degrades to
+// inside_out.
 func OrderForBuffer(name string, nSrc, nDst int, seed uint64, slots int) ([]Bucket, error) {
 	if nSrc <= 0 || nDst <= 0 {
 		return nil, fmt.Errorf("partition: non-positive partition counts %d×%d", nSrc, nDst)
@@ -80,7 +85,7 @@ func OrderForBuffer(name string, nSrc, nDst int, seed uint64, slots int) ([]Buck
 	case "", OrderInsideOut:
 		return insideOut(nSrc, nDst), nil
 	case OrderBudgetAware:
-		return OptimizeOrder(insideOut(nSrc, nDst), CostModel{Slots: slots}), nil
+		return PlanBudgetAware(nSrc, nDst, slots).Order, nil
 	case OrderSequential:
 		out := make([]Bucket, 0, nSrc*nDst)
 		for i := 0; i < nSrc; i++ {

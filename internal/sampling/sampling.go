@@ -76,12 +76,26 @@ type Set struct {
 // NewSet builds the sampler set. alpha is the data-prevalence fraction;
 // degrees may be nil, in which case sampling is purely uniform regardless of
 // alpha.
+//
+// PartSize is ceil-division, so a valid schema can leave trailing
+// partitions empty (Count=6 over 4 partitions sizes them 2,2,2,0). An
+// empty partition holds no entities to sample, and naively building its
+// samplers panics — Uniform over an empty range in rng.Intn, or an alias
+// table over an empty weight slice at construction. No edge can demand a
+// negative from an empty partition (the partition has no endpoints to
+// corrupt), but the samplers are built eagerly for every partition, so
+// empty ones get a guard sampler drawing uniformly from the whole entity
+// type instead.
 func NewSet(schema *graph.Schema, degrees *graph.Degrees, alpha float32) *Set {
 	s := &Set{byTypePart: make([][]Sampler, len(schema.Entities)), schema: schema}
 	for t, e := range schema.Entities {
 		parts := make([]Sampler, e.NumPartitions)
 		for p := 0; p < e.NumPartitions; p++ {
 			size := e.PartitionCount(p)
+			if size <= 0 {
+				parts[p] = Uniform{Lo: 0, Hi: int32(e.Count)}
+				continue
+			}
 			lo := int32(p * e.PartSize())
 			hi := lo + int32(size)
 			uni := Uniform{Lo: lo, Hi: hi}

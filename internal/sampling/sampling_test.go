@@ -3,6 +3,7 @@ package sampling
 import (
 	"math"
 	"testing"
+	"testing/quick"
 
 	"pbg/internal/graph"
 	"pbg/internal/rng"
@@ -203,5 +204,70 @@ func TestSetOutOfRangePanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// Property: NewSet never panics and every sampler draws in-range entities,
+// for arbitrary (Count, NumPartitions) combinations — including schemas
+// whose ceil-division partition sizes leave trailing partitions empty
+// (Count=6 over 4 partitions sizes them 2,2,2,0), which used to panic at
+// construction (empty alias table) or first sample (rng.Intn(0)).
+func TestNewSetEmptyPartitionProperty(t *testing.T) {
+	f := func(countRaw uint16, partsRaw, alphaRaw uint8, seed uint64) bool {
+		count := int(countRaw)%50 + 1
+		parts := int(partsRaw)%12 + 1
+		if parts > count {
+			parts = count
+		}
+		alpha := float32(alphaRaw%11) / 10
+		schema := graph.MustSchema(
+			[]graph.EntityType{{Name: "n", Count: count, NumPartitions: parts}},
+			[]graph.RelationType{{Name: "r", SourceType: "n", DestType: "n", Operator: "identity"}},
+		)
+		degrees := &graph.Degrees{ByType: [][]float64{make([]float64, count)}}
+		r := rng.New(seed)
+		for i := range degrees.ByType[0] {
+			degrees.ByType[0][i] = float64(r.Intn(5))
+		}
+		for _, deg := range []*graph.Degrees{nil, degrees} {
+			set := NewSet(schema, deg, alpha)
+			ent := schema.Entities[0]
+			for p := 0; p < parts; p++ {
+				smp := set.ForTypePartition(0, p)
+				for i := 0; i < 20; i++ {
+					id := smp.Sample(r)
+					if id < 0 || int(id) >= count {
+						return false
+					}
+					// Non-empty partitions must sample within themselves
+					// (§4.1's partition-constrained negatives); empty ones
+					// fall back to the whole type.
+					if ent.PartitionCount(p) > 0 && ent.PartitionOf(id) != p {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The ISSUE's concrete reproducer: Count=6 over 4 partitions (sizes
+// 2,2,2,0) with degree-weighted sampling.
+func TestNewSetEmptyTrailingPartition(t *testing.T) {
+	schema := graph.MustSchema(
+		[]graph.EntityType{{Name: "n", Count: 6, NumPartitions: 4}},
+		[]graph.RelationType{{Name: "r", SourceType: "n", DestType: "n", Operator: "identity"}},
+	)
+	degrees := &graph.Degrees{ByType: [][]float64{{1, 2, 3, 1, 2, 3}}}
+	set := NewSet(schema, degrees, 0.5)
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		if id := set.ForTypePartition(0, 3).Sample(r); id < 0 || id >= 6 {
+			t.Fatalf("guard sampler returned %d", id)
+		}
 	}
 }

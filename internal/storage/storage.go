@@ -51,8 +51,11 @@ import (
 
 // ParseByteSize parses a human-readable byte count for memory-budget flags:
 // a plain number is bytes, and the binary suffixes K/KB/KiB, M/MB/MiB,
-// G/GB/GiB (case-insensitive, powers of 1024) scale it. "0" or "" means
-// unbounded.
+// G/GB/GiB, T/TB/TiB (case-insensitive, powers of 1024) scale it. "0" or
+// "" means unbounded. Longer suffixes take precedence over their suffixes
+// ("1TiB" is a tebibyte, not "1TI" bytes), which the suffix list order
+// below encodes: the bare "B" must come last or it would strip the B off
+// every two-letter suffix.
 func ParseByteSize(s string) (int64, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -67,6 +70,7 @@ func ParseByteSize(s string) (int64, error) {
 		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
 		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
 		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"TIB", 1 << 40}, {"TB", 1 << 40}, {"T", 1 << 40},
 		{"B", 1},
 	} {
 		if strings.HasSuffix(upper, suf.name) {

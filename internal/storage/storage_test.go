@@ -424,8 +424,22 @@ func TestParseByteSize(t *testing.T) {
 		{"2G", 2 << 30, false},
 		{"512 MB", 512 << 20, false},
 		{"10B", 10, false},
+		// Terabyte budgets (embedding tables at the millions-of-users
+		// scale need them).
+		{"1T", 1 << 40, false},
+		{"2TB", 2 << 40, false},
+		{"1.5TiB", 3 << 39, false},
+		{"1 tib", 1 << 40, false},
+		// Suffix precedence: the longest suffix wins, so KiB/TiB are not
+		// read as "KI"/"TI" bytes and TB is not read as T... or bare B.
+		{"1KiB", 1 << 10, false},
+		{"1kb", 1 << 10, false},
+		{"1GiB", 1 << 30, false},
+		{"1gb", 1 << 30, false},
+		{"1MiB", 1 << 20, false},
 		{"-1", 0, true},
 		{"abc", 0, true},
+		{"1XB", 0, true},
 	}
 	for _, c := range cases {
 		got, err := ParseByteSize(c.in)

@@ -77,3 +77,16 @@ func (t *Trainer) buildOrder() ([]partition.Bucket, error) {
 // budget_aware order optimises against, exposed for tests and benchmarks.
 // CLIs without a Trainer in hand use BufferSlotsFor directly.
 func (t *Trainer) BufferSlots() int { return t.bufferSlots() }
+
+// PlanOrderFor prices the partition buffer `budget` affords for this
+// schema (via BufferSlotsFor) and plans the budget_aware bucket order
+// against the schema's bucket grid, reporting which strategy won — the
+// greedy search on small grids, or one of the closed-form BETA schedules
+// (grouped/strided) past the size cutoff. It returns the plan plus the
+// priced slot count so CLIs can echo the decision; the trainer's own
+// buildOrder runs exactly this planning through partition.OrderForBuffer.
+func PlanOrderFor(schema *graph.Schema, dim int, budget int64) (partition.OrderPlan, int) {
+	slots := BufferSlotsFor(schema, dim, budget)
+	nSrc, nDst := bucketDims(schema)
+	return partition.PlanBudgetAware(nSrc, nDst, slots), slots
+}

@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"pbg/internal/datagen"
 	"pbg/internal/partition"
@@ -89,6 +90,70 @@ func BenchmarkEpochPipeline(b *testing.B) {
 			if (mode == "budget" || mode == "budget_order") && highWater > cfg.MemBudgetBytes+perShard {
 				b.Fatalf("resident high-water %d exceeded budget %d + allowance", highWater, cfg.MemBudgetBytes)
 			}
+		})
+	}
+}
+
+// BenchmarkEpochPipelineLargeP is the large-grid shape of the pipeline
+// benchmark: many partitions (the regime where the closed-form grouped
+// ordering replaces the greedy search) under a budget admitting roughly 8
+// partition slots. It reports ordering wall time alongside throughput and
+// the store's forced evictions, and fails if building the budget_aware
+// order falls back into seconds — the regression the closed forms exist to
+// prevent.
+func BenchmarkEpochPipelineLargeP(b *testing.B) {
+	parts := 64
+	if testing.Short() {
+		parts = 32
+	}
+	nodes, dim := parts*150, 16
+	perShard := int64((nodes+parts-1)/parts) * int64(dim+1) * 4
+	for _, ord := range []string{partition.OrderInsideOut, partition.OrderBudgetAware} {
+		b.Run(fmt.Sprintf("P=%d/order=%s", parts, ord), func(b *testing.B) {
+			g, err := datagen.Social(datagen.SocialConfig{
+				Nodes: nodes, AvgOutDegree: 2, NumPartitions: parts, Seed: 11,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := storage.NewDiskStore(b.TempDir(), g.Schema, dim, 7, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			cfg := Config{
+				Dim: dim, Seed: 3, Workers: 2, UniformNegs: 5, ChunkSize: 10,
+				BucketOrder: ord, MemBudgetBytes: 9 * perShard,
+				Lookahead: 1, MaxLookahead: 1,
+			}
+			orderStart := time.Now()
+			tr, err := New(g, store, cfg)
+			orderMS := float64(time.Since(orderStart).Microseconds()) / 1000
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ord == partition.OrderBudgetAware && orderMS > 1000 {
+				b.Fatalf("budget_aware ordering at P=%d took %.0fms (trainer construction); want milliseconds", parts, orderMS)
+			}
+			projected := partition.SwapCostUnderBuffer(tr.Buckets(), tr.BufferSlots())
+			var edges int
+			var total float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := tr.TrainEpoch()
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges += st.Edges
+				total += st.Duration.Seconds()
+			}
+			b.StopTimer()
+			if total > 0 {
+				b.ReportMetric(float64(edges)/total, "edges/s")
+				b.ReportMetric(float64(store.IOStats().ForcedEvicts)/float64(b.N), "forcedEvicts")
+			}
+			b.ReportMetric(orderMS, "orderMs")
+			b.ReportMetric(float64(projected), "projLoads")
 		})
 	}
 }

@@ -88,7 +88,10 @@ type Config struct {
 	// "chained", or "budget_aware". The last optimises the bucket sequence
 	// against the partition buffer MemBudgetBytes affords (Marius-style
 	// buffer-aware ordering, minimising projected swaps and hence forced
-	// evictions); with no budget set it degrades to inside_out.
+	// evictions) — a greedy search on small grids, closed-form BETA
+	// grouped/strided schedules past ~32×32 where the search turns
+	// quadratic-slow (see partition.PlanBudgetAware); with no budget set
+	// it degrades to inside_out.
 	BucketOrder string
 	// PipelineOff disables the pipelined epoch executor: buckets then swap
 	// their partitions in and out serially (the pre-pipeline behaviour),
