@@ -19,11 +19,11 @@ import (
 	"log"
 	"net"
 	"net/rpc"
-	"time"
 
 	"pbg/internal/datagen"
 	"pbg/internal/dist"
 	"pbg/internal/graph"
+	"pbg/internal/obs"
 	"pbg/internal/partition"
 	"pbg/internal/storage"
 	"pbg/internal/train"
@@ -49,12 +49,26 @@ func main() {
 		maxLook = flag.Int("max-lookahead", 0, "adaptive lookahead cap for the trainer's executor (0 = default)")
 		orderBy = flag.String("order", "", "lock role bucket order: inside_out (default), sequential, random, chained, budget_aware")
 		slots   = flag.Int("buffer-slots", 0, "lock role: resident partition slots for -order budget_aware (0 = derive from -mem-budget/-nodes/-dim)")
+		obsAddr = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
 	memBudget, err := storage.ParseByteSize(*budget)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if err := train.ValidateRunFlags(*orderBy, memBudget, *slots, 0, *maxLook); err != nil {
+		log.Fatal(err)
+	}
+	var hub *obs.Hub
+	if *obsAddr != "" {
+		hub = obs.NewHub()
+		srv, err := hub.Serve(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s (/metrics, /trace, /debug/pprof/)\n", srv.Addr())
 	}
 
 	switch *role {
@@ -119,6 +133,7 @@ func main() {
 			Train: train.Config{
 				Dim: *dim, Workers: *workers, Seed: dist.RankSeed(*seed, *rank),
 				MaxLookahead: *maxLook, MemBudgetBytes: memBudget,
+				Obs: hub,
 			},
 		})
 		if err != nil {
@@ -138,13 +153,11 @@ func main() {
 				}
 				c.Close()
 			}
-			start := time.Now()
 			st, err := node.RunEpoch()
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("rank %d epoch %d: %d buckets, %d edges, loss/edge %.4f, %.2fs\n",
-				*rank, e, st.Buckets, st.Edges, st.Loss/float64(max(st.Edges, 1)), time.Since(start).Seconds())
+			fmt.Println(st.Summary(*rank, e))
 		}
 	default:
 		flag.Usage()

@@ -18,6 +18,7 @@ import (
 
 	"pbg"
 	"pbg/internal/graph"
+	"pbg/internal/obs"
 	"pbg/internal/partition"
 	"pbg/internal/storage"
 	"pbg/internal/train"
@@ -45,11 +46,15 @@ func main() {
 		lookahead  = flag.Int("lookahead", 0, "initial pipelined-prefetch depth (0 = default 1)")
 		maxLook    = flag.Int("max-lookahead", 0, "adaptive lookahead cap (0 = default; set equal to -lookahead to pin)")
 		order      = flag.String("order", "", "bucket order: inside_out (default), sequential, random, chained, budget_aware (optimises against -mem-budget)")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
 	)
 	flag.Parse()
 
 	budget, err := storage.ParseByteSize(*memBudget)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := train.ValidateRunFlags(*order, budget, 0, *lookahead, *maxLook); err != nil {
 		log.Fatal(err)
 	}
 
@@ -69,6 +74,16 @@ func main() {
 		Lookahead: *lookahead, MaxLookahead: *maxLook, MemBudgetBytes: budget,
 		BucketOrder: *order,
 	}
+	if *obsAddr != "" {
+		hub := obs.NewHub()
+		cfg.Obs = hub
+		srv, err := hub.Serve(*obsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s (/metrics, /trace, /debug/pprof/)\n", srv.Addr())
+	}
 	if *order == partition.OrderBudgetAware {
 		plan, slots := train.PlanOrderFor(g.Schema, *dim, budget)
 		switch {
@@ -85,16 +100,7 @@ func main() {
 				plan.BaseCost, slots)
 		}
 	}
-	onEpoch := func(st train.EpochStats) {
-		line := fmt.Sprintf("epoch %d: loss/edge %.4f  edges %d  %.2fs  IO %d  iowait %.0f%%",
-			st.Epoch, st.Loss/float64(st.Edges), st.Edges, st.Duration.Seconds(), st.PartitionIO,
-			100*st.IOWait.Seconds()/st.Duration.Seconds())
-		if st.LookaheadAction != "" {
-			line += fmt.Sprintf("  lookahead %d (%s)  resident %.1fMB",
-				st.Lookahead, st.LookaheadAction, float64(st.ResidentHighWater)/(1<<20))
-		}
-		fmt.Println(line)
-	}
+	onEpoch := func(st train.EpochStats) { fmt.Println(st.Summary()) }
 	var m *pbg.Model
 	if *partitions > 1 && *out != "" {
 		m, err = pbg.TrainOnDiskWithCallback(g, *out, cfg, onEpoch)

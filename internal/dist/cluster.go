@@ -194,6 +194,10 @@ func (cl *Cluster) RunEpoch() (EpochStats, error) {
 		merged.Loss += stats[i].Loss
 		merged.Edges += stats[i].Edges
 		merged.Buckets += stats[i].Buckets
+		merged.PartitionIO += stats[i].PartitionIO
+		merged.IOWait += stats[i].IOWait
+		merged.Compute += stats[i].Compute
+		merged.LeaseWait += stats[i].LeaseWait
 		merged.PerNode = append(merged.PerNode, stats[i].PerNode...)
 	}
 	sort.Slice(merged.PerNode, func(i, j int) bool { return merged.PerNode[i].Rank < merged.PerNode[j].Rank })

@@ -474,9 +474,9 @@ func TestRemoteStoreBudget(t *testing.T) {
 	// A third hint exceeds the budget: dropped, no cache entry.
 	store.Prefetch(0, 2)
 	store.mu.Lock()
-	sheds, cached := store.sheds, store.cache[partKey{0, 2}] != nil
+	cached := store.cache[partKey{0, 2}] != nil
 	store.mu.Unlock()
-	if sheds != 1 || cached {
+	if sheds := store.IOStats().PrefetchSheds; sheds != 1 || cached {
 		t.Fatalf("over-budget hint not dropped: sheds=%d cached=%v", sheds, cached)
 	}
 
@@ -485,9 +485,9 @@ func TestRemoteStoreBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	store.mu.Lock()
-	evicts := store.forcedEvict
 	_, p0 := store.cache[partKey{0, 0}]
 	store.mu.Unlock()
+	evicts := store.IOStats().ForcedEvicts
 	if evicts != 1 || p0 {
 		t.Fatalf("must-have did not evict LRU prefetched shard: evicts=%d p0 cached=%v", evicts, p0)
 	}

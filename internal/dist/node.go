@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pbg/internal/graph"
+	"pbg/internal/obs"
 	"pbg/internal/train"
 )
 
@@ -57,6 +58,40 @@ type EpochStats struct {
 	Edges    int
 	Loss     float64
 	PerNode  []NodeStats
+	// PartitionIO counts partition-server fetches during the epoch — the
+	// distributed analogue of the local trainer's swap-ins. It is a delta
+	// over the store's fetch counter, so when several in-process nodes
+	// share one obs hub (Config.Obs on a Cluster's Train config) the count
+	// covers all of them; each node of a real deployment is its own
+	// process, where the two views coincide.
+	PartitionIO int
+	// IOWait/Compute split the epoch the same way train.EpochStats does:
+	// shard checkout/write-back stalls vs in-bucket HOGWILD training.
+	IOWait  time.Duration
+	Compute time.Duration
+	// LeaseWait is the time spent asking the lock server for buckets
+	// (AcquireBucket round trips plus polls while no disjoint bucket was
+	// free) — contention on the lock server shows up here, not in IOWait.
+	LeaseWait time.Duration
+}
+
+// Summary renders the distributed epoch in the same one-line format
+// train.EpochStats.Summary uses for local runs, prefixed with the rank, so
+// pbg-train and pbg-node output read identically. epoch is the caller's
+// epoch index (the lock server owns epoch numbering, so EpochStats does not
+// carry one).
+func (s EpochStats) Summary(rank, epoch int) string {
+	ts := train.EpochStats{
+		Epoch:         epoch,
+		Loss:          s.Loss,
+		Edges:         s.Edges,
+		Duration:      s.Duration,
+		PartitionIO:   s.PartitionIO,
+		IOWait:        s.IOWait,
+		Compute:       s.Compute,
+		BucketsActive: s.Buckets,
+	}
+	return fmt.Sprintf("rank %d %s", rank, ts.Summary())
 }
 
 // Node is one trainer machine of Figure 2: it leases buckets from the lock
@@ -73,11 +108,22 @@ type Node struct {
 
 	epoch int // local epoch counter; must track StartEpoch calls
 
+	// obs is cfg.Train.Obs or a private quiet hub; the handles below are
+	// its registry's lease/sync metrics (the store and trainer register
+	// their own).
+	obs       *obs.Hub
+	leaseWait *obs.Counter
+	acquireNs *obs.Histogram
+	syncLag   *obs.Gauge
+
 	// syncMu serialises parameter syncs (ticker goroutine vs. the forced
 	// end-of-epoch sync). lastSync[r] is the global block at the previous
-	// sync, so the next push sends only this node's own updates.
+	// sync, so the next push sends only this node's own updates. lastSyncAt
+	// feeds the sync-lag gauge: how stale relation parameters were when the
+	// latest sync replaced them.
 	syncMu      sync.Mutex
 	lastSync    [][]float32
+	lastSyncAt  time.Time
 	stop        chan struct{}
 	syncDone    chan struct{}
 	syncStarted bool
@@ -99,6 +145,13 @@ func NewNode(g *graph.Graph, cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{cfg: cfg, store: store, stop: make(chan struct{}), syncDone: make(chan struct{})}
+	n.obs = cfg.Train.Obs
+	if n.obs == nil {
+		n.obs = obs.NewQuietHub()
+	}
+	n.leaseWait = n.obs.Reg.Counter("pbg_dist_lease_wait_ns_total")
+	n.acquireNs = n.obs.Reg.Histogram(`pbg_dist_rpc_ns{method="AcquireBucket"}`)
+	n.syncLag = n.obs.Reg.Gauge("pbg_dist_param_sync_lag_ns")
 	fail := func(err error) (*Node, error) {
 		n.Close()
 		return nil, err
@@ -198,6 +251,13 @@ func (n *Node) SyncParams() error {
 			return err
 		}
 	}
+	// Record the realised delta-push lag: how stale the relation parameters
+	// this sync replaced had grown since the previous successful sync.
+	now := time.Now()
+	if !n.lastSyncAt.IsZero() {
+		n.syncLag.Set(now.Sub(n.lastSyncAt).Nanoseconds())
+	}
+	n.lastSyncAt = now
 	return nil
 }
 
@@ -240,11 +300,27 @@ func (n *Node) syncRelation(r int) error {
 func (n *Node) RunEpoch() (EpochStats, error) {
 	n.epoch++
 	start := time.Now()
+	ioBase, computeBase := n.trainer.IOTotals()
+	fetchBase := n.store.IOStats().Loads
+	leaseBase := n.leaseWait.Value()
+	finish := func(st *EpochStats) {
+		st.Duration = time.Since(start)
+		ioWait, compute := n.trainer.IOTotals()
+		st.IOWait = ioWait - ioBase
+		st.Compute = compute - computeBase
+		st.PartitionIO = int(n.store.IOStats().Loads - fetchBase)
+		st.LeaseWait = time.Duration(n.leaseWait.Value() - leaseBase)
+	}
 	var st EpochStats
 	var held []int
 	for {
 		var rep AcquireReply
-		if err := n.lock.Call("LockServer.AcquireBucket", AcquireArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Held: held}, &rep); err != nil {
+		t0 := time.Now()
+		err := n.lock.Call("LockServer.AcquireBucket", AcquireArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Held: held}, &rep)
+		n.acquireNs.Observe(float64(time.Since(t0).Nanoseconds()))
+		n.leaseWait.Add(time.Since(t0).Nanoseconds())
+		if err != nil {
+			finish(&st)
 			return st, err
 		}
 		if rep.Done {
@@ -252,6 +328,7 @@ func (n *Node) RunEpoch() (EpochStats, error) {
 		}
 		if !rep.Granted {
 			time.Sleep(acquirePoll)
+			n.leaseWait.Add(acquirePoll.Nanoseconds())
 			continue
 		}
 		b := rep.Bucket
@@ -260,6 +337,7 @@ func (n *Node) RunEpoch() (EpochStats, error) {
 			// Return the lease so another trainer can take the bucket over.
 			var ack Ack
 			_ = n.lock.Call("LockServer.AbandonBucket", ReleaseArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Bucket: b}, &ack)
+			finish(&st)
 			return st, err
 		}
 		st.Loss += loss
@@ -267,14 +345,16 @@ func (n *Node) RunEpoch() (EpochStats, error) {
 		st.Buckets++
 		var ack Ack
 		if err := n.lock.Call("LockServer.ReleaseBucket", ReleaseArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Bucket: b}, &ack); err != nil {
+			finish(&st)
 			return st, err
 		}
 		held = b.Parts()
 	}
 	if err := n.SyncParams(); err != nil {
+		finish(&st)
 		return st, err
 	}
-	st.Duration = time.Since(start)
+	finish(&st)
 	st.PerNode = []NodeStats{{
 		Rank:         n.cfg.Rank,
 		Buckets:      st.Buckets,

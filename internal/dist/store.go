@@ -4,10 +4,35 @@ import (
 	"fmt"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pbg/internal/graph"
+	"pbg/internal/obs"
 	"pbg/internal/storage"
 )
+
+// distStoreMetrics holds the checkout cache's registry handles. Each store
+// starts on a private quiet hub; SetObs rebinds the handles to a shared
+// registry (train.New plumbs Config.Obs here, the same way it does for
+// storage.DiskStore).
+type distStoreMetrics struct {
+	fetches, puts, sheds, forcedEvicts *obs.Counter
+	getNs, putNs                       *obs.Histogram
+	resident                           *obs.Gauge
+}
+
+func newDistStoreMetrics(reg *obs.Registry) distStoreMetrics {
+	return distStoreMetrics{
+		fetches:      reg.Counter("pbg_dist_fetches_total"),
+		puts:         reg.Counter("pbg_dist_puts_total"),
+		sheds:        reg.Counter("pbg_dist_prefetch_sheds_total"),
+		forcedEvicts: reg.Counter("pbg_dist_forced_evicts_total"),
+		getNs:        reg.Histogram(`pbg_dist_rpc_ns{method="Get"}`),
+		putNs:        reg.Histogram(`pbg_dist_rpc_ns{method="Put"}`),
+		resident:     reg.Gauge("pbg_dist_resident_bytes"),
+	}
+}
 
 // remoteStore implements storage.Store on top of a set of partition servers:
 // Acquire checks a shard out over RPC, Release writes it back and evicts it.
@@ -41,8 +66,18 @@ type remoteStore struct {
 	// never modified, so they drop without a Put). 0 = unbounded.
 	maxResident int64
 	useSeq      int64
-	sheds       int64
-	forcedEvict int64
+
+	// obs/m record fetches, write-backs, budget decisions, and RPC
+	// latencies; set at construction or by one SetObs call before use.
+	// The private atomics below back IOStats: several in-process stores
+	// may share one hub (a Cluster with Config.Obs set), so the registry
+	// counters aggregate across stores while these stay per-store exact.
+	obs        *obs.Hub
+	m          distStoreMetrics
+	fetchCount atomic.Int64
+	putCount   atomic.Int64
+	shedCount  atomic.Int64
+	evictCount atomic.Int64
 }
 
 type storeEntry struct {
@@ -78,7 +113,9 @@ func dialStore(schema *graph.Schema, dim int, initScale float32, readonly bool, 
 		initScale: initScale,
 		readonly:  readonly,
 		cache:     make(map[partKey]*storeEntry),
+		obs:       obs.NewQuietHub(),
 	}
+	s.m = newDistStoreMetrics(s.obs.Reg)
 	for _, addr := range addrs {
 		c, err := rpc.Dial("tcp", addr)
 		if err != nil {
@@ -92,6 +129,31 @@ func dialStore(schema *graph.Schema, dim int, initScale float32, readonly bool, 
 
 func (s *remoteStore) client(t, p int) *rpc.Client {
 	return s.clients[serverIndex(t, p, len(s.clients))]
+}
+
+// SetObs rebinds the store's metrics onto h's shared registry; call once,
+// before the first Prefetch/Acquire. train.New plumbs Config.Obs here
+// automatically for any store exposing this method.
+func (s *remoteStore) SetObs(h *obs.Hub) {
+	if h == nil {
+		return
+	}
+	s.obs = h
+	s.m = newDistStoreMetrics(h.Reg)
+}
+
+// IOStats reports cumulative checkout-cache activity in DiskStore's IOStats
+// shape: Loads are partition-server fetches, Writes are Put write-backs
+// (Admits is not a remote-store concept and stays 0). The counts come from
+// per-store atomics, so they stay exact even when several stores share one
+// obs hub.
+func (s *remoteStore) IOStats() storage.IOStats {
+	return storage.IOStats{
+		Loads:         s.fetchCount.Load(),
+		Writes:        s.putCount.Load(),
+		PrefetchSheds: s.shedCount.Load(),
+		ForcedEvicts:  s.evictCount.Load(),
+	}
 }
 
 // SetMaxResidentBytes sets the checkout-cache admission budget (0 =
@@ -140,7 +202,9 @@ func (s *remoteStore) evictUnusedLocked() bool {
 		return false
 	}
 	delete(s.cache, victimK)
-	s.forcedEvict++
+	s.m.forcedEvicts.Inc()
+	s.evictCount.Add(1)
+	s.updateResidentLocked()
 	return true
 }
 
@@ -155,9 +219,16 @@ func (s *remoteStore) get(t, p int) (*storage.Shard, error) {
 		Dim:       s.dim,
 		InitScale: s.initScale,
 	}
-	if err := s.client(t, p).Call("PartitionServer.Get", args, &reply); err != nil {
+	sp := s.obs.Trace.Start("dist", fmt.Sprintf("get t%d p%d", t, p))
+	t0 := time.Now()
+	err := s.client(t, p).Call("PartitionServer.Get", args, &reply)
+	s.m.getNs.Observe(float64(time.Since(t0).Nanoseconds()))
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("dist: get shard (%d,%d): %w", t, p, err)
 	}
+	s.m.fetches.Inc()
+	s.fetchCount.Add(1)
 	return reply.Shard.Shard(), nil
 }
 
@@ -175,6 +246,7 @@ func (s *remoteStore) fetch(k partKey, e *storeEntry) {
 		s.useSeq++
 		e.lastUse = s.useSeq
 	}
+	s.updateResidentLocked()
 	close(e.ready)
 	e.ready = nil
 	s.mu.Unlock()
@@ -196,7 +268,8 @@ func (s *remoteStore) Prefetch(t, p int) {
 	if s.maxResident > 0 && s.accountedLocked()+size > s.maxResident {
 		// Hints are advisory: the budget drops them rather than evicting
 		// for them (mirroring storage.DiskStore's admission rule).
-		s.sheds++
+		s.m.sheds.Inc()
+		s.shedCount.Add(1)
 		s.mu.Unlock()
 		return
 	}
@@ -274,15 +347,23 @@ func (s *remoteStore) Release(t, p int) error {
 		return nil
 	}
 	delete(s.cache, k)
+	s.updateResidentLocked()
 	s.mu.Unlock()
 	if s.readonly {
 		return nil
 	}
 	// Write back outside the lock: the shard is no longer visible locally.
 	var ack Ack
-	if err := s.client(t, p).Call("PartitionServer.Put", PutArgs{Shard: payloadFromShard(e.shard)}, &ack); err != nil {
+	sp := s.obs.Trace.Start("dist", fmt.Sprintf("put t%d p%d", t, p))
+	t0 := time.Now()
+	err := s.client(t, p).Call("PartitionServer.Put", PutArgs{Shard: payloadFromShard(e.shard)}, &ack)
+	s.m.putNs.Observe(float64(time.Since(t0).Nanoseconds()))
+	sp.End()
+	if err != nil {
 		return fmt.Errorf("dist: put shard (%d,%d): %w", t, p, err)
 	}
+	s.m.puts.Inc()
+	s.putCount.Add(1)
 	return nil
 }
 
@@ -313,6 +394,10 @@ func (s *remoteStore) Flush() error {
 func (s *remoteStore) ResidentBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.residentLocked()
+}
+
+func (s *remoteStore) residentLocked() int64 {
 	var total int64
 	for _, e := range s.cache {
 		if e.shard != nil { // fetches still in flight hold no memory yet
@@ -320,6 +405,12 @@ func (s *remoteStore) ResidentBytes() int64 {
 		}
 	}
 	return total
+}
+
+// updateResidentLocked refreshes the resident-bytes gauge at every
+// transition that changes checkout-cache memory.
+func (s *remoteStore) updateResidentLocked() {
+	s.m.resident.Set(s.residentLocked())
 }
 
 // Close implements storage.Store: hang up the partition-server connections.

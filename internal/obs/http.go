@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Hub bundles the two halves of the observability layer so instrumented
+// subsystems take one handle. Reg is never nil on a hub built by NewHub or
+// NewQuietHub; Trace may be nil (spans then no-op), which is the default
+// for components not wired to a live endpoint.
+type Hub struct {
+	Reg   *Registry
+	Trace *Tracer
+}
+
+// NewHub returns a hub with a fresh registry and a tracer of
+// DefaultTraceCapacity — what the CLIs build when -obs-addr is set.
+func NewHub() *Hub {
+	return &Hub{Reg: NewRegistry(), Trace: NewTracer(0)}
+}
+
+// NewQuietHub returns a hub with a registry but no tracer: metrics are
+// recorded (cheap atomics), spans no-op. This is the default hub
+// instrumented components fall back to when the caller supplies none, so
+// instrumentation code never checks for nil.
+func NewQuietHub() *Hub {
+	return &Hub{Reg: NewRegistry()}
+}
+
+// Handler returns the hub's HTTP mux:
+//
+//	/metrics        Prometheus text-format export of the registry
+//	/trace          Chrome trace_event JSON of the span ring buffer
+//	/debug/pprof/*  the standard net/http/pprof profiling endpoints
+//	/               a plain-text index of the above
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := h.Reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if h.Trace == nil {
+			http.Error(w, "obs: tracing disabled on this hub", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="pbg-trace.json"`)
+		if err := h.Trace.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "pbg observability endpoint\n\n/metrics\n/trace\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running observability endpoint; Close shuts it down.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the hub's HTTP endpoint on addr (host:port; port 0 picks a
+// free one). The server runs on a background goroutine until Close.
+func (h *Hub) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: h.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr reports the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

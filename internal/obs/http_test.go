@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	hub := NewHub()
+	hub.Reg.Counter("pbg_http_test_total").Add(3)
+	hub.Trace.Start("train", "epoch").End()
+	srv, err := hub.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "pbg_http_test_total 3") ||
+		!strings.Contains(body, "# TYPE pbg_http_test_total counter") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get("/trace"); code != http.StatusOK ||
+		!strings.Contains(body, "traceEvents") || !strings.Contains(body, "epoch") {
+		t.Errorf("/trace = %d:\n%s", code, body)
+	}
+	// pprof's cmdline endpoint is the cheapest one that exercises the wiring.
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, body := get("/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d:\n%s", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestTraceEndpointWithoutTracer(t *testing.T) {
+	hub := NewQuietHub()
+	srv, err := hub.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/trace without tracer = %d, want 404", resp.StatusCode)
+	}
+}

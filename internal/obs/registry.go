@@ -1,0 +1,330 @@
+// Package obs is the repo's dependency-free observability layer: a
+// lock-cheap metrics registry (atomic counters, gauges, and fixed
+// log-scale-bucket histograms with a Prometheus text-format exporter), a
+// bounded span tracer whose ring buffer exports Chrome trace_event JSON
+// (openable in chrome://tracing or Perfetto), and an opt-in HTTP server
+// binding the two together with net/http/pprof.
+//
+// The package deliberately imports nothing outside the standard library so
+// every layer of the system — train, storage, dist, the CLIs — can depend
+// on it without cycles. Instrumented subsystems hold a *Hub; components
+// that are not wired to a live endpoint run against a private Hub whose
+// tracer is nil, which makes every span call a no-op and every metric an
+// uncontended atomic.
+//
+// Metric names follow the Prometheus conventions: a family name in
+// snake_case with a unit suffix (…_total for counters, …_ns_total for
+// cumulative nanoseconds, …_bytes for gauges), optionally followed by a
+// brace-delimited label set that is carried verbatim into the export, e.g.
+//
+//	reg.Counter(`pbg_storage_loads_total`)
+//	reg.Histogram(`pbg_dist_rpc_ns{method="Get"}`)
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// unusable; obtain counters from a Registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative for the
+// Prometheus export to stay meaningful; this is not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (resident bytes, live lookahead
+// depth, sync lag). Obtain gauges from a Registry.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram bucket layout: fixed base-2 log-scale upper bounds
+// 2^histMinExp … 2^(histMinExp+histBuckets-1), plus an implicit +Inf
+// bucket. The range (≈6e-8 … ≈1.7e7) covers sub-microsecond RPC latencies
+// in seconds, multi-hour durations in seconds, nanosecond counts of short
+// stalls, and per-edge losses, all without per-histogram configuration —
+// fixed bounds keep Observe allocation-free and mergeable across
+// processes.
+const (
+	histMinExp  = -24
+	histBuckets = 49
+)
+
+// Histogram is a fixed-bucket log-scale histogram safe for concurrent
+// Observe calls. Obtain histograms from a Registry.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	buckets [histBuckets + 1]atomic.Int64
+}
+
+// Observe records one value. NaN and values beyond the largest bound land
+// in the +Inf bucket; non-positive values land in the smallest.
+func (h *Histogram) Observe(v float64) {
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			break
+		}
+	}
+	h.buckets[histBucketIndex(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// histBucketIndex returns the smallest bucket whose upper bound is >= v;
+// histBuckets means +Inf.
+func histBucketIndex(v float64) int {
+	if v <= math.Ldexp(1, histMinExp) {
+		return 0
+	}
+	if !(v <= math.Ldexp(1, histMinExp+histBuckets-1)) { // catches NaN too
+		return histBuckets
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	i := exp - 1 - histMinExp  // v <= 2^(exp-1) exactly when frac == 0.5
+	if frac > 0.5 {
+		i++
+	}
+	return i
+}
+
+// HistBucketBound returns the upper bound of bucket i (math.Inf(1) for the
+// overflow bucket). Exposed for tests and snapshot consumers.
+func HistBucketBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// Registry is a process- or component-level set of named metrics.
+// Registration (Counter/Gauge/Histogram) takes a mutex; the returned
+// handles are lock-free, so instrumented code registers once at
+// construction and pays one atomic op per event afterwards.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Calls with the same name share one counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time. Buckets
+// holds per-bucket (non-cumulative) counts aligned with HistBucketBound.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     float64
+	Buckets []int64
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, for
+// tests and end-of-run reporting. Concurrent updates during the copy may
+// be torn across metrics but each individual value is atomic.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: make([]int64, histBuckets+1)}
+		for i := range h.buckets {
+			hs.Buckets[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// splitName separates a metric name into its family and an optional label
+// body: `pbg_dist_rpc_ns{method="Get"}` → ("pbg_dist_rpc_ns",
+// `method="Get"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// formatBound renders a histogram bucket bound as a Prometheus `le` value;
+// %g keeps exact powers of two short and round-trippable.
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per family, then the samples,
+// with histogram buckets expanded cumulatively under `_bucket{le=…}`.
+// Output is sorted by name so exports diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	typed := make(map[string]string) // family → type, first writer wins
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		family, labels := splitName(name)
+		braced := ""
+		if labels != "" {
+			braced = "{" + labels + "}"
+		}
+		writeType := func(kind string) error {
+			if typed[family] == kind {
+				return nil
+			}
+			typed[family] = kind
+			_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+			return err
+		}
+		if v, ok := snap.Counters[name]; ok {
+			if err := writeType("counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", family, braced, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if v, ok := snap.Gauges[name]; ok {
+			if err := writeType("gauge"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", family, braced, v); err != nil {
+				return err
+			}
+			continue
+		}
+		hs := snap.Histograms[name]
+		if err := writeType("histogram"); err != nil {
+			return err
+		}
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		var cum int64
+		for i, c := range hs.Buckets {
+			cum += c
+			// Elide interior empty buckets: cumulative counts make skipped
+			// `le` values implied, and 50 lines per histogram would swamp
+			// the export. The +Inf bucket is always written.
+			if c == 0 && i < histBuckets {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"%s\"} %d\n",
+				family, labels, sep, formatBound(HistBucketBound(i)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", family, braced, hs.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, braced, hs.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

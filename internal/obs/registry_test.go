@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pbg_test_total")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("pbg_test_total") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("pbg_test_bytes")
+	g.Set(100)
+	g.Add(-30)
+	if got := g.Value(); got != 70 {
+		t.Fatalf("gauge = %d, want 70", got)
+	}
+}
+
+func TestHistogramBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want float64 // upper bound of the bucket v must land in
+	}{
+		{1.0, 1.0}, // exact power of two lands on its own bound
+		{1.5, 2.0},
+		{0.75, 1.0},
+		{0.5, 0.5},
+		{1e-9, HistBucketBound(0)}, // below the smallest bound
+		{0, HistBucketBound(0)},
+		{-3, HistBucketBound(0)},
+		{1e12, math.Inf(1)}, // beyond the largest bound
+		{math.NaN(), math.Inf(1)},
+	}
+	for _, c := range cases {
+		got := HistBucketBound(histBucketIndex(c.v))
+		if got != c.want {
+			t.Errorf("bucket bound for %v = %v, want %v", c.v, got, c.want)
+		}
+		if !math.IsInf(got, 1) && !(c.v <= got) && c.v > 0 && !math.IsNaN(c.v) {
+			t.Errorf("value %v above its bucket bound %v", c.v, got)
+		}
+	}
+}
+
+// TestMetricsExactUnderConcurrency hammers one counter, one gauge, and one
+// histogram from HOGWILD-width goroutines and asserts exact totals — the
+// registry's lock-cheap primitives must not lose updates (run under -race
+// in CI).
+func TestMetricsExactUnderConcurrency(t *testing.T) {
+	const workers = 16
+	const perWorker = 10_000
+	r := NewRegistry()
+	c := r.Counter("pbg_conc_total")
+	g := r.Gauge("pbg_conc_gauge")
+	h := r.Histogram("pbg_conc_hist")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(3)
+				g.Add(1)
+				h.Observe(float64(w%4) + 0.5) // 0.5, 1.5, 2.5, 3.5
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Value(), int64(3*workers*perWorker); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := g.Value(), int64(workers*perWorker); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	if got, want := h.Count(), int64(workers*perWorker); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	// Sum is exact: each observed value has a short binary expansion and the
+	// running sum stays far below 2^53.
+	want := 0.0
+	for w := 0; w < workers; w++ {
+		want += (float64(w%4) + 0.5) * perWorker
+	}
+	if got := h.Sum(); got != want {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+	var bucketTotal int64
+	snap := r.Snapshot()
+	for _, b := range snap.Histograms["pbg_conc_hist"].Buckets {
+		bucketTotal += b
+	}
+	if bucketTotal != h.Count() {
+		t.Errorf("bucket counts sum to %d, want %d", bucketTotal, h.Count())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pbg_loads_total").Add(7)
+	r.Gauge("pbg_resident_bytes").Set(1024)
+	r.Histogram(`pbg_rpc_ns{method="Get"}`).Observe(2.0)
+	r.Histogram(`pbg_rpc_ns{method="Put"}`).Observe(1e30) // overflow bucket
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE pbg_loads_total counter",
+		"pbg_loads_total 7",
+		"# TYPE pbg_resident_bytes gauge",
+		"pbg_resident_bytes 1024",
+		"# TYPE pbg_rpc_ns histogram",
+		`pbg_rpc_ns_bucket{method="Get",le="2"} 1`,
+		`pbg_rpc_ns_bucket{method="Get",le="+Inf"} 1`,
+		`pbg_rpc_ns_sum{method="Get"} 2`,
+		`pbg_rpc_ns_count{method="Get"} 1`,
+		`pbg_rpc_ns_bucket{method="Put",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// The TYPE line for a labelled family must appear exactly once even with
+	// two label sets registered.
+	if got := strings.Count(out, "# TYPE pbg_rpc_ns histogram"); got != 1 {
+		t.Errorf("TYPE line for pbg_rpc_ns appears %d times, want 1:\n%s", got, out)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pbg_x_total")
+	c.Add(5)
+	snap := r.Snapshot()
+	c.Add(5)
+	if snap.Counters["pbg_x_total"] != 5 {
+		t.Fatalf("snapshot mutated: %d", snap.Counters["pbg_x_total"])
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("train", "epoch")
+	if sp != nil {
+		t.Fatal("nil tracer must return a nil span")
+	}
+	sp.End()            // must not panic
+	sp.Child("x").End() // ditto
+	if tr.Events() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report nothing")
+	}
+}
+
+func TestSpanNestingAndOrder(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("train", "epoch")
+	child := root.Child("bucket")
+	grand := child.Child("load")
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	root.End()
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// Events are sorted by start time: root, child, grandchild.
+	if evs[0].Name != "epoch" || evs[1].Name != "bucket" || evs[2].Name != "load" {
+		t.Fatalf("unexpected order: %v %v %v", evs[0].Name, evs[1].Name, evs[2].Name)
+	}
+	if evs[1].Parent != evs[0].ID || evs[2].Parent != evs[1].ID {
+		t.Fatalf("parent chain broken: %+v", evs)
+	}
+	for _, ev := range evs {
+		if ev.Dur <= 0 {
+			t.Errorf("span %q has non-positive duration %v", ev.Name, ev.Dur)
+		}
+	}
+	// The grandchild must nest inside the child's window.
+	if evs[2].Start.Before(evs[1].Start) ||
+		evs[2].Start.Add(evs[2].Dur).After(evs[1].Start.Add(evs[1].Dur)) {
+		t.Fatalf("grandchild does not nest in child: %+v", evs)
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 20; i++ {
+		tr.Start("t", "s").End()
+	}
+	if got := tr.Len(); got != 8 {
+		t.Fatalf("ring holds %d, want 8", got)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Fatalf("dropped %d, want 12", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("events %d, want 8", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start.Before(evs[i-1].Start) {
+			t.Fatal("events not sorted by start time")
+		}
+	}
+}
+
+func TestTracerConcurrentSpans(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("t", "s")
+				sp.Child("c").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 1600 {
+		t.Fatalf("ring holds %d, want 1600", got)
+	}
+}
+
+func TestWriteChromeTraceIsValidJSON(t *testing.T) {
+	tr := NewTracer(16)
+	sp := tr.Start("storage", "load t0 p1")
+	sp.End()
+	tr.Start("train", "bucket (0,1)").End()
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	// Two spans on two tracks: 2 metadata events + 2 complete events.
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+		case "M":
+			meta++
+		}
+		if ev.Pid != 1 || ev.Tid == 0 {
+			t.Errorf("event %q missing pid/tid: %+v", ev.Name, ev)
+		}
+	}
+	if complete != 2 || meta != 2 {
+		t.Fatalf("got %d complete + %d metadata events, want 2 + 2:\n%s", complete, meta, sb.String())
+	}
+}

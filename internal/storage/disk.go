@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"pbg/internal/graph"
+	"pbg/internal/obs"
 )
 
 // diskIOWorkers bounds the number of concurrent background shard loads and
@@ -58,6 +59,11 @@ type diskEntry struct {
 	// from the cache; it must abandon the load without touching the map.
 	shedded bool
 
+	// span is the open prefetch-window span (Prefetch call → load
+	// published or hint shed); the load itself traces as its child. Nil
+	// when tracing is off or the entry came from a direct Acquire.
+	span *obs.Span
+
 	// clean marks a resident shard that is bit-identical to its disk copy
 	// (or to its deterministic lazy init): a prefetched-but-unacquired load,
 	// or — under a budget — a shard retained in cache after its write-back
@@ -84,7 +90,27 @@ type diskEntry struct {
 	writeDone chan struct{}
 }
 
-// IOStats is DiskStore's cumulative I/O and memory-budget accounting.
+// diskMetrics holds the store's registry handles. The counters are the
+// authoritative accounting — IOStats is a point-in-time view over them —
+// and every one is an uncontended atomic bumped at disk-I/O granularity.
+type diskMetrics struct {
+	loads, writes, admits, sheds, forcedEvicts *obs.Counter
+	resident                                   *obs.Gauge
+}
+
+func newDiskMetrics(reg *obs.Registry) diskMetrics {
+	return diskMetrics{
+		loads:        reg.Counter("pbg_storage_loads_total"),
+		writes:       reg.Counter("pbg_storage_writebacks_total"),
+		admits:       reg.Counter("pbg_storage_admits_total"),
+		sheds:        reg.Counter("pbg_storage_prefetch_sheds_total"),
+		forcedEvicts: reg.Counter("pbg_storage_forced_evicts_total"),
+		resident:     reg.Gauge("pbg_storage_resident_bytes"),
+	}
+}
+
+// IOStats is DiskStore's cumulative I/O and memory-budget accounting — a
+// snapshot of the store's obs registry counters (see SetObs).
 type IOStats struct {
 	// Loads counts shard loads (disk reads or deterministic lazy inits).
 	Loads int64
@@ -135,7 +161,12 @@ type DiskStore struct {
 	useSeq      int64 // LRU clock for lastUse stamps
 	snapBytes   int64 // memory held by in-flight write-back snapshots
 
-	loads, writes, admits, sheds, forcedEvicts int64
+	// obs carries the store's metrics and spans; m caches the registry
+	// handles. Both are set at construction (private quiet hub) or by a
+	// single SetObs call before the store is used, and read without the
+	// store lock afterwards.
+	obs *obs.Hub
+	m   diskMetrics
 
 	sem     chan struct{} // bounds concurrent background I/O
 	pending sync.WaitGroup
@@ -159,9 +190,25 @@ func NewDiskStore(dir string, schema *graph.Schema, dim int, seed uint64, initSc
 		dir:    dir,
 		cache:  make(map[shardKey]*diskEntry),
 		sem:    make(chan struct{}, diskIOWorkers),
+		obs:    obs.NewQuietHub(),
 	}
+	d.m = newDiskMetrics(d.obs.Reg)
 	d.cond = sync.NewCond(&d.mu)
 	return d, nil
+}
+
+// SetObs attaches the store's metrics (pbg_storage_* counters, the
+// resident-bytes gauge) and its load/write-back/snapshot spans to h. Call
+// it once, before the store's first Prefetch/Acquire: attaching re-creates
+// the metric handles in h's registry, so counts recorded on the previous
+// hub are not carried over. train.New plumbs Config.Obs here automatically
+// for any store exposing this method.
+func (d *DiskStore) SetObs(h *obs.Hub) {
+	if h == nil {
+		return
+	}
+	d.obs = h
+	d.m = newDiskMetrics(h.Reg)
 }
 
 // SetMaxResidentBytes sets the admission budget (0 disables budgeting and
@@ -252,13 +299,14 @@ func (d *DiskStore) Prefetch(t, p int) {
 	size := d.shardBytes(t, p)
 	if d.maxResident > 0 {
 		if d.accountedLocked()+size > d.maxResident {
-			d.sheds++
+			d.m.sheds.Inc()
 			d.mu.Unlock()
 			return
 		}
-		d.admits++
+		d.m.admits.Inc()
 	}
 	e := &diskEntry{ready: make(chan struct{}), size: size, queued: true}
+	e.span = d.obs.Trace.Start("storage", fmt.Sprintf("prefetch t%d p%d", t, p))
 	d.cache[k] = e
 	d.mu.Unlock()
 	d.submit(func() { d.prefetchLoad(k, e) })
@@ -299,7 +347,9 @@ func (d *DiskStore) shedLocked(k shardKey, e *diskEntry) {
 	e.shedded = true
 	e.loadErr = errShed
 	delete(d.cache, k)
-	d.sheds++
+	d.m.sheds.Inc()
+	e.span.End()
+	e.span = nil
 	if e.ready != nil {
 		close(e.ready)
 		e.ready = nil
@@ -314,6 +364,12 @@ func (d *DiskStore) shedLocked(k shardKey, e *diskEntry) {
 // failure is an error, because re-initialising over a real-but-unreadable
 // file would silently discard that partition's training on write-back.
 func (d *DiskStore) load(k shardKey, e *diskEntry, prefetch bool) {
+	var lsp *obs.Span
+	if e.span != nil {
+		lsp = e.span.Child(fmt.Sprintf("load t%d p%d", k.t, k.p))
+	} else {
+		lsp = d.obs.Trace.Start("storage", fmt.Sprintf("load t%d p%d", k.t, k.p))
+	}
 	var sh *Shard
 	var err error
 	if _, serr := os.Stat(d.path(k.t, k.p)); serr == nil {
@@ -337,7 +393,11 @@ func (d *DiskStore) load(k shardKey, e *diskEntry, prefetch bool) {
 			e.lastUse = d.bumpUseLocked()
 		}
 	}
-	d.loads++
+	d.m.loads.Inc()
+	lsp.End()
+	e.span.End()
+	e.span = nil
+	d.updateResidentLocked()
 	close(e.ready)
 	e.ready = nil
 	d.cond.Broadcast()
@@ -364,7 +424,7 @@ func (d *DiskStore) Acquire(t, p int) (*Shard, error) {
 				if waited := d.makeRoomLocked(size); waited {
 					continue // the cache changed while we waited; re-check
 				}
-				d.admits++
+				d.m.admits.Inc()
 			}
 			e = &diskEntry{ready: make(chan struct{}), size: size}
 			d.cache[k] = e
@@ -471,7 +531,8 @@ func (d *DiskStore) evictCleanLocked() bool {
 		return false
 	}
 	delete(d.cache, victimK)
-	d.forcedEvicts++
+	d.m.forcedEvicts.Inc()
+	d.updateResidentLocked()
 	d.cond.Broadcast()
 	return true
 }
@@ -561,8 +622,11 @@ func (d *DiskStore) startWrite(k shardKey, e *diskEntry) {
 	// check racing the memcpy must already see them, or a prefetch admitted
 	// during the copy would push real memory past the budget.
 	d.snapBytes += sh.Bytes()
+	d.updateResidentLocked()
 	d.mu.Unlock()
+	ssp := d.obs.Trace.Start("storage", fmt.Sprintf("snapshot t%d p%d", k.t, k.p))
 	snap := sh.snapshot()
+	ssp.End()
 	d.mu.Lock()
 	close(e.snapDone)
 	e.snapDone = nil
@@ -577,9 +641,11 @@ func (d *DiskStore) startWrite(k shardKey, e *diskEntry) {
 // — the sticky error surfaces on the next Release or Drain, while Flush and
 // Close retry the write (clearing the error if the retry lands).
 func (d *DiskStore) writeBack(k shardKey, e *diskEntry, snap *Shard, live bool) {
+	wsp := d.obs.Trace.Start("storage", fmt.Sprintf("writeback t%d p%d", k.t, k.p))
 	werr := WriteShard(d.path(k.t, k.p), snap)
+	wsp.End()
 	d.mu.Lock()
-	d.writes++
+	d.m.writes.Inc()
 	if !live {
 		d.snapBytes -= snap.Bytes()
 	}
@@ -629,6 +695,7 @@ func (d *DiskStore) writeBack(k shardKey, e *diskEntry, snap *Shard, live bool) 
 			delete(d.cache, k)
 		}
 	}
+	d.updateResidentLocked()
 	finish()
 	d.mu.Unlock()
 }
@@ -644,16 +711,16 @@ func (d *DiskStore) Drain() error {
 }
 
 // IOStats reports cumulative I/O counts and memory-budget decisions, for
-// tests and throughput accounting.
+// tests and throughput accounting. It is a snapshot of the store's obs
+// registry counters, so callers see the same numbers a /metrics scrape
+// would.
 func (d *DiskStore) IOStats() IOStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	return IOStats{
-		Loads:         d.loads,
-		Writes:        d.writes,
-		Admits:        d.admits,
-		PrefetchSheds: d.sheds,
-		ForcedEvicts:  d.forcedEvicts,
+		Loads:         d.m.loads.Value(),
+		Writes:        d.m.writes.Value(),
+		Admits:        d.m.admits.Value(),
+		PrefetchSheds: d.m.sheds.Value(),
+		ForcedEvicts:  d.m.forcedEvicts.Value(),
 	}
 }
 
@@ -703,6 +770,10 @@ func (d *DiskStore) Flush() error {
 func (d *DiskStore) ResidentBytes() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.residentLocked()
+}
+
+func (d *DiskStore) residentLocked() int64 {
 	total := d.snapBytes
 	for _, e := range d.cache {
 		if e.shard != nil {
@@ -710,6 +781,14 @@ func (d *DiskStore) ResidentBytes() int64 {
 		}
 	}
 	return total
+}
+
+// updateResidentLocked refreshes the resident-bytes gauge. Called at every
+// transition that changes real shard memory (load publish, snapshot
+// reservation, write-back completion, eviction), so a /metrics scrape sees
+// the same footprint ResidentBytes reports.
+func (d *DiskStore) updateResidentLocked() {
+	d.m.resident.Set(d.residentLocked())
 }
 
 // Close implements Store: persist everything still resident and reject

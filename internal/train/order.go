@@ -1,6 +1,8 @@
 package train
 
 import (
+	"time"
+
 	"pbg/internal/graph"
 	"pbg/internal/partition"
 	"pbg/internal/storage"
@@ -58,18 +60,27 @@ func (t *Trainer) bufferSlots() int {
 	return BufferSlotsFor(t.g.Schema, t.cfg.Dim, t.cfg.MemBudgetBytes)
 }
 
-// buildOrder constructs the trainer's bucket order. For "budget_aware" it
-// prices the partition buffer the budget affords via bufferSlots and lets
-// partition.OrderForBuffer optimise the inside-out base order against it;
-// with no budget (or one too tight to hold a single partition) that
-// degrades to plain inside-out, matching the documented Config.BucketOrder
-// contract.
+// buildOrder constructs the trainer's bucket order and records the planning
+// gauges (pbg_partition_plan_ns and, for budget_aware, the projected load
+// counts an epoch's actual swap-ins can be compared against). For
+// "budget_aware" it prices the partition buffer the budget affords via
+// bufferSlots and plans against it with partition.PlanBudgetAware — the
+// same planning OrderForBuffer runs, called directly so the plan's
+// projected costs are in hand to record; with no budget (or one too tight
+// to hold a single partition) that degrades to plain inside-out, matching
+// the documented Config.BucketOrder contract.
 func (t *Trainer) buildOrder() ([]partition.Bucket, error) {
-	slots := 0
+	start := time.Now()
+	defer func() { t.tm.planNs.Set(time.Since(start).Nanoseconds()) }()
 	if t.cfg.BucketOrder == partition.OrderBudgetAware {
-		slots = t.bufferSlots()
+		slots := t.bufferSlots()
+		plan := partition.PlanBudgetAware(t.nSrc, t.nDst, slots)
+		t.tm.bufferSlots.Set(int64(slots))
+		t.tm.projectedLoads.Set(int64(plan.Cost))
+		t.tm.baseLoads.Set(int64(plan.BaseCost))
+		return plan.Order, nil
 	}
-	return partition.OrderForBuffer(t.cfg.BucketOrder, t.nSrc, t.nDst, t.cfg.Seed, slots)
+	return partition.OrderForBuffer(t.cfg.BucketOrder, t.nSrc, t.nDst, t.cfg.Seed, 0)
 }
 
 // BufferSlots reports how many resident partition slots the configured

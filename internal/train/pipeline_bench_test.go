@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pbg/internal/datagen"
+	"pbg/internal/obs"
 	"pbg/internal/partition"
 	"pbg/internal/storage"
 )
@@ -91,6 +92,80 @@ func BenchmarkEpochPipeline(b *testing.B) {
 				b.Fatalf("resident high-water %d exceeded budget %d + allowance", highWater, cfg.MemBudgetBytes)
 			}
 		})
+	}
+}
+
+// BenchmarkEpochPipelineObs prices the observability layer: the same
+// pipeline shape as BenchmarkEpochPipeline run with a full obs.Hub
+// (registry + tracer) against the quiet default. The two trainers run
+// interleaved epochs with the lead alternating each iteration, so disk
+// cache warm-up and CPU frequency drift hit both sides equally. It reports
+// the measured overhead and — outside -short, where one warm iteration is
+// too noisy to judge — fails if instrumentation costs more than ~2% of
+// epoch wall time, the budget the metric-handle caching and per-worker
+// local accumulation exist to protect.
+func BenchmarkEpochPipelineObs(b *testing.B) {
+	nodes, degree, dim := 24_000, 3, 64
+	if testing.Short() {
+		nodes, degree, dim = 4_000, 2, 16
+	}
+	const parts = 8
+	g, err := datagen.Social(datagen.SocialConfig{
+		Nodes: nodes, AvgOutDegree: degree, NumPartitions: parts, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	build := func(hub *obs.Hub) *Trainer {
+		store, err := storage.NewDiskStore(b.TempDir(), g.Schema, dim, 7, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { store.Close() })
+		tr, err := New(g, store, Config{
+			Dim: dim, Seed: 3, Workers: 2, UniformNegs: 10, ChunkSize: 10,
+			Obs: hub,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr
+	}
+	trOn := build(obs.NewHub())
+	trOff := build(nil)
+	epoch := func(tr *Trainer) time.Duration {
+		start := time.Now()
+		if _, err := tr.TrainEpoch(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// One untimed warm-up epoch each: first-touch shard creation is I/O
+	// noise, not instrumentation cost.
+	epoch(trOn)
+	epoch(trOff)
+	var onNs, offNs time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			offNs += epoch(trOff)
+			onNs += epoch(trOn)
+		} else {
+			onNs += epoch(trOn)
+			offNs += epoch(trOff)
+		}
+	}
+	b.StopTimer()
+	if offNs <= 0 {
+		return
+	}
+	overhead := float64(onNs-offNs) / float64(offNs)
+	b.ReportMetric(100*overhead, "obs-overhead-%")
+	// Enforce only on the full-size shape with enough accumulated wall time
+	// for a 2% signal to clear scheduler jitter.
+	if !testing.Short() && offNs > 500*time.Millisecond && overhead > 0.02 {
+		b.Fatalf("observability overhead %.1f%% (on %v vs off %v over %d epochs); budget is 2%%",
+			100*overhead, onNs, offNs, b.N)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 
 	"pbg/internal/graph"
 	"pbg/internal/model"
+	"pbg/internal/obs"
 	"pbg/internal/optim"
 	"pbg/internal/partition"
 	"pbg/internal/rng"
@@ -120,6 +121,13 @@ type Config struct {
 	// the buckets N times per epoch ('stratum losses', Gemulla et al. 2011;
 	// §4.1 footnote 3).
 	StratumParts int
+	// Obs is the observability hub the trainer records metrics and spans
+	// into (see internal/obs); it is also plumbed into stores that expose
+	// SetObs, so one /metrics scrape covers the whole pipeline. Nil gives
+	// the trainer a private quiet hub: metrics still accumulate (IOTotals,
+	// EpochStats, and tests read them) but spans no-op and nothing is
+	// exported.
+	Obs *obs.Hub
 	// InitScale scales embedding initialisation. Default 1.
 	InitScale float32
 	// Seed drives all randomness.
@@ -262,11 +270,15 @@ type Trainer struct {
 	epochHighWater int64
 	winBytes       map[int]int64
 
-	// ioWaitNs/computeNs accumulate bucket-transition stall time and
-	// in-bucket training time; TrainEpoch reports the per-epoch deltas.
-	// Only the epoch thread touches them.
-	ioWaitNs  int64
-	computeNs int64
+	// obs is Config.Obs or a private quiet hub; tm caches its registry
+	// handles so the epoch path never takes the registry lock. epochSpan is
+	// the span covering the epoch in flight (nil outside TrainEpoch and on
+	// hubs without a tracer); only the epoch thread touches it. IOWait and
+	// Compute stall/training time live in tm's counters — EpochStats reports
+	// their per-epoch deltas.
+	obs       *obs.Hub
+	tm        trainMetrics
+	epochSpan *obs.Span
 }
 
 // New prepares a trainer over the given training graph and store. The store
@@ -278,6 +290,11 @@ func New(g *graph.Graph, store storage.Store, cfg Config) (*Trainer, error) {
 		return nil, fmt.Errorf("train: Dim must be positive")
 	}
 	t := &Trainer{cfg: cfg, g: g, store: store, root: rng.New(cfg.Seed)}
+	t.obs = cfg.Obs
+	if t.obs == nil {
+		t.obs = obs.NewQuietHub()
+	}
+	t.tm = newTrainMetrics(t.obs.Reg)
 
 	// Per-relation scorers (relations may use different operators).
 	t.scorers = make([]*model.Scorer, len(g.Schema.Relations))
@@ -337,7 +354,17 @@ func New(g *graph.Graph, store storage.Store, cfg Config) (*Trainer, error) {
 			b.SetMaxResidentBytes(cfg.MemBudgetBytes)
 		}
 	}
+	// Share the caller's hub with stores that can record into it, so the
+	// storage counters and spans land beside the trainer's own. A nil
+	// Config.Obs leaves the store on its private registry — per-store
+	// IOStats exactness is part of its contract.
+	if cfg.Obs != nil {
+		if o, ok := store.(interface{ SetObs(*obs.Hub) }); ok {
+			o.SetObs(cfg.Obs)
+		}
+	}
 	t.initLookahead()
+	t.tm.lookahead.Set(int64(t.lookahead))
 	return t, nil
 }
 
@@ -477,7 +504,8 @@ func (t *Trainer) TrainEpoch() (EpochStats, error) {
 	if !t.cfg.PipelineOff {
 		stats.Lookahead = t.lookahead
 	}
-	ioBase, computeBase := t.ioWaitNs, t.computeNs
+	t.epochSpan = t.obs.Trace.Start("train", fmt.Sprintf("epoch %d", t.epochsRun))
+	ioBase, computeBase := t.tm.ioWait.Value(), t.tm.compute.Value()
 	items := t.epochItems()
 	var err error
 	if t.cfg.PipelineOff {
@@ -485,16 +513,22 @@ func (t *Trainer) TrainEpoch() (EpochStats, error) {
 	} else {
 		err = t.runEpochPipelined(items, &stats)
 	}
-	stats.IOWait = time.Duration(t.ioWaitNs - ioBase)
-	stats.Compute = time.Duration(t.computeNs - computeBase)
+	t.epochSpan.End()
+	t.epochSpan = nil
+	stats.IOWait = time.Duration(t.tm.ioWait.Value() - ioBase)
+	stats.Compute = time.Duration(t.tm.compute.Value() - computeBase)
 	stats.Duration = time.Since(start)
 	stats.PeakResident = t.peakBytes
 	stats.ResidentHighWater = t.epochHighWater
+	t.tm.edges.Add(int64(stats.Edges))
+	t.tm.swapIns.Add(int64(stats.PartitionIO))
 	if err != nil {
 		return stats, err
 	}
 	if !t.cfg.PipelineOff {
 		t.adaptLookahead(&stats)
+		t.tm.decisions[stats.LookaheadAction].Inc()
+		t.tm.lookahead.Set(int64(t.lookahead))
 	}
 	t.epochsRun++
 	return stats, nil
@@ -548,7 +582,7 @@ func (t *Trainer) runEpochPipelined(items []epochItem, stats *EpochStats) error 
 			}
 			t.discardPrefetched(keys)
 		}
-		t.ioWaitNs += time.Since(t0).Nanoseconds()
+		t.tm.ioWait.Add(time.Since(t0).Nanoseconds())
 		return first
 	}
 	for i, it := range items {
@@ -595,7 +629,7 @@ func (t *Trainer) runEpochPipelined(items []epochItem, stats *EpochStats) error 
 			held[k] = ref
 			shards[k] = ref
 		}
-		t.ioWaitNs += time.Since(t0).Nanoseconds()
+		t.tm.ioWait.Add(time.Since(t0).Nanoseconds())
 		t.sampleResident()
 		// Hint the shards the next buckets will need; the store loads them
 		// on its background pool while this bucket trains.
@@ -609,7 +643,7 @@ func (t *Trainer) runEpochPipelined(items []epochItem, stats *EpochStats) error 
 		}
 		t1 := time.Now()
 		loss, edges, err := t.runBucket(it.b, it.lo, it.hi, shards)
-		t.computeNs += time.Since(t1).Nanoseconds()
+		t.tm.compute.Add(time.Since(t1).Nanoseconds())
 		if err != nil {
 			releaseHeld()
 			return err
@@ -725,7 +759,7 @@ func (t *Trainer) releaseBucketShards(m map[shardKey]shardRef) error {
 func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edges int, err error) {
 	t0 := time.Now()
 	shards, err := t.acquireBucketShards(b)
-	t.ioWaitNs += time.Since(t0).Nanoseconds()
+	t.tm.ioWait.Add(time.Since(t0).Nanoseconds())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -735,7 +769,7 @@ func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edg
 	defer func() {
 		t1 := time.Now()
 		rerr := t.releaseBucketShards(shards)
-		t.ioWaitNs += time.Since(t1).Nanoseconds()
+		t.tm.ioWait.Add(time.Since(t1).Nanoseconds())
 		if rerr != nil && err == nil {
 			loss, edges, err = 0, 0, rerr
 		}
@@ -745,13 +779,15 @@ func (t *Trainer) trainBucket(b partition.Bucket, lo, hi int) (loss float64, edg
 	t.sampleResident()
 	t2 := time.Now()
 	loss, edges, err = t.runBucket(b, lo, hi, shards)
-	t.computeNs += time.Since(t2).Nanoseconds()
+	t.tm.compute.Add(time.Since(t2).Nanoseconds())
 	return loss, edges, err
 }
 
 // runBucket trains edges [lo, hi) of bucket b on the HOGWILD worker pool,
 // using shards already acquired by the caller.
 func (t *Trainer) runBucket(b partition.Bucket, lo, hi int, shards map[shardKey]shardRef) (loss float64, edges int, err error) {
+	sp := t.startBucketSpan(b)
+	defer sp.End()
 	n := hi - lo
 	perm := make([]int, n)
 	t.root.Perm(perm)
@@ -781,6 +817,9 @@ func (t *Trainer) runBucket(b partition.Bucket, lo, hi int, shards map[shardKey]
 			return 0, 0, errs[w]
 		}
 		loss += losses[w]
+	}
+	if n > 0 {
+		t.tm.bucketLoss.Observe(loss / float64(n))
 	}
 	return loss, n, nil
 }
@@ -841,6 +880,11 @@ func (t *Trainer) workerLoop(st *workerState, b partition.Bucket, shards map[sha
 
 	in := &model.ChunkInput{}
 
+	// Gather vs score time accumulates in locals and lands on the shared
+	// counters once per bucket, so the per-chunk hot path stays free of
+	// atomics (the clock reads below are the only instrumentation cost).
+	var gatherNs, scoreNs int64
+
 	var total float64
 	for rel, list := range byRel {
 		if len(list) == 0 {
@@ -872,6 +916,7 @@ func (t *Trainer) workerLoop(st *workerState, b partition.Bucket, shards map[sha
 				chunkHi = len(list)
 			}
 			cc := chunkHi - chunkLo
+			g0 := time.Now()
 			// Gather.
 			in.SrcIDs = st.inBuf.SrcIDs[:cc]
 			in.DstIDs = st.inBuf.DstIDs[:cc]
@@ -904,8 +949,12 @@ func (t *Trainer) workerLoop(st *workerState, b partition.Bucket, shards map[sha
 				}
 			}
 
+			g1 := time.Now()
+			gatherNs += g1.Sub(g0).Nanoseconds()
 			sc.ScoreChunk(ws, in, grad)
 			total += grad.Loss
+			g2 := time.Now()
+			scoreNs += g2.Sub(g1).Nanoseconds()
 
 			// Scatter updates.
 			t.applyRows(srcRef, in.SrcIDs, grad.Src.Data, d)
@@ -920,8 +969,11 @@ func (t *Trainer) workerLoop(st *workerState, b partition.Bucket, shards map[sha
 				}
 				t.relMu[rel].Unlock()
 			}
+			gatherNs += time.Since(g2).Nanoseconds()
 		}
 	}
+	t.tm.workerGather.Add(gatherNs)
+	t.tm.workerScore.Add(scoreNs)
 	return total, nil
 }
 

@@ -1,0 +1,45 @@
+package train
+
+import (
+	"fmt"
+
+	"pbg/internal/partition"
+)
+
+// ValidateRunFlags sanity-checks the run-shaping flag combination shared by
+// pbg-train and pbg-node before any graph is built, so a contradictory
+// command line fails at startup with one clear message instead of silently
+// degrading mid-run. The library Config stays permissive (budget_aware
+// without a budget degrades to inside_out, MaxLookahead below Lookahead
+// clamps — both documented); the CLIs call this because a human who typed
+// -order budget_aware without -mem-budget almost certainly made a mistake.
+//
+// bufferSlots is pbg-node's lock-role override that prices the budget_aware
+// buffer directly; pbg-train passes 0.
+func ValidateRunFlags(order string, memBudget int64, bufferSlots, lookahead, maxLookahead int) error {
+	switch order {
+	case "", partition.OrderInsideOut, partition.OrderSequential,
+		partition.OrderRandom, partition.OrderChained, partition.OrderBudgetAware:
+	default:
+		return fmt.Errorf("unknown -order %q (want inside_out, sequential, random, chained, or budget_aware)", order)
+	}
+	if memBudget < 0 {
+		return fmt.Errorf("-mem-budget must not be negative, got %d", memBudget)
+	}
+	if lookahead < 0 {
+		return fmt.Errorf("-lookahead must not be negative, got %d", lookahead)
+	}
+	if maxLookahead < 0 {
+		return fmt.Errorf("-max-lookahead must not be negative, got %d", maxLookahead)
+	}
+	if bufferSlots < 0 {
+		return fmt.Errorf("-buffer-slots must not be negative, got %d", bufferSlots)
+	}
+	if order == partition.OrderBudgetAware && memBudget == 0 && bufferSlots == 0 {
+		return fmt.Errorf("-order budget_aware needs -mem-budget (it optimises the bucket sequence against that budget); without one it would silently degrade to inside_out")
+	}
+	if maxLookahead > 0 && lookahead > maxLookahead {
+		return fmt.Errorf("-max-lookahead %d is below -lookahead %d; raise -max-lookahead or lower -lookahead", maxLookahead, lookahead)
+	}
+	return nil
+}

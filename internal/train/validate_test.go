@@ -1,0 +1,43 @@
+package train
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateRunFlags(t *testing.T) {
+	cases := []struct {
+		name                 string
+		order                string
+		budget               int64
+		slots, look, maxLook int
+		wantErr              bool
+		wantSubstr           string
+	}{
+		{name: "defaults", order: "", wantErr: false},
+		{name: "plain order", order: "inside_out", wantErr: false},
+		{name: "unknown order", order: "outside_in", wantErr: true, wantSubstr: "unknown -order"},
+		{name: "budget_aware without budget", order: "budget_aware", wantErr: true, wantSubstr: "-mem-budget"},
+		{name: "budget_aware with budget", order: "budget_aware", budget: 1 << 20, wantErr: false},
+		{name: "budget_aware with slots", order: "budget_aware", slots: 4, wantErr: false},
+		{name: "cap below lookahead", look: 3, maxLook: 2, wantErr: true, wantSubstr: "-max-lookahead"},
+		{name: "cap equals lookahead", look: 2, maxLook: 2, wantErr: false},
+		{name: "cap unset", look: 3, wantErr: false},
+		{name: "negative budget", budget: -1, wantErr: true, wantSubstr: "-mem-budget"},
+		{name: "negative lookahead", look: -1, wantErr: true, wantSubstr: "-lookahead"},
+		{name: "negative cap", maxLook: -1, wantErr: true, wantSubstr: "-max-lookahead"},
+		{name: "negative slots", slots: -1, wantErr: true, wantSubstr: "-buffer-slots"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateRunFlags(c.order, c.budget, c.slots, c.look, c.maxLook)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("ValidateRunFlags(%q, %d, %d, %d, %d) = %v, wantErr %v",
+					c.order, c.budget, c.slots, c.look, c.maxLook, err, c.wantErr)
+			}
+			if err != nil && !strings.Contains(err.Error(), c.wantSubstr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSubstr)
+			}
+		})
+	}
+}
