@@ -19,6 +19,7 @@ import (
 	"log"
 	"net"
 	"net/rpc"
+	"time"
 
 	"pbg/internal/datagen"
 	"pbg/internal/dist"
@@ -50,6 +51,9 @@ func main() {
 		orderBy = flag.String("order", "", "lock role bucket order: inside_out (default), sequential, random, chained, budget_aware")
 		slots   = flag.Int("buffer-slots", 0, "lock role: resident partition slots for -order budget_aware (0 = derive from -mem-budget/-nodes/-dim)")
 		obsAddr = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
+		ttl     = flag.Duration("lease-ttl", 0, "lock role: bucket leases expire after this long without a heartbeat and are re-leased (0 = never; fail-stop)")
+		ckptDir = flag.String("checkpoint-dir", "", "lock role: persist/resume epoch progress here; partition role: write shards through to this directory and restart from it")
+		ckptEvr = flag.Duration("checkpoint-every", 5*time.Second, "lock role: epoch-progress manifest cadence (with -checkpoint-dir)")
 	)
 	flag.Parse()
 
@@ -115,11 +119,47 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		serveForever(*listen, map[string]any{"LockServer": dist.NewLockServer(order)})
+		lockOpts := []dist.LockOption{dist.WithLeaseTTL(*ttl)}
+		if hub != nil {
+			lockOpts = append(lockOpts, dist.WithLockObs(hub))
+		}
+		if *ckptDir != "" {
+			// Resume epoch progress from the manifest (relation parameters
+			// live on the param servers; a multi-process deployment restores
+			// them by restarting param servers before any trainer connects).
+			if m, ok, err := dist.ReadManifest(*ckptDir); err != nil {
+				log.Fatal(err)
+			} else if ok {
+				lockOpts = append(lockOpts, dist.WithRestoredEpoch(m.Epoch, m.Done))
+				fmt.Printf("resuming from checkpoint: epoch %d, %d buckets done\n", m.Epoch, len(m.Done))
+			}
+		}
+		ls := dist.NewLockServer(order, lockOpts...)
+		if *ckptDir != "" {
+			go func() {
+				for range time.Tick(*ckptEvr) {
+					var es dist.EpochStateReply
+					if err := ls.EpochState(dist.EpochStateArgs{}, &es); err != nil {
+						continue
+					}
+					if err := dist.WriteManifest(*ckptDir, &dist.Manifest{Epoch: es.Epoch, Done: es.Done}); err != nil {
+						log.Printf("checkpoint manifest: %v", err)
+					}
+				}
+			}()
+		}
+		serveForever(*listen, map[string]any{"LockServer": ls})
 	case "partition":
 		g := mustGraph(*nodes, *avgDeg, *p, *seed)
+		partOpts := []dist.PartOption{}
+		if *ckptDir != "" {
+			partOpts = append(partOpts, dist.WithDurableDir(*ckptDir))
+		}
+		if hub != nil {
+			partOpts = append(partOpts, dist.WithPartObs(hub))
+		}
 		serveForever(*listen, map[string]any{
-			"PartitionServer": dist.NewPartitionServer(g.Schema, *dim, *seed+1, 1),
+			"PartitionServer": dist.NewPartitionServer(g.Schema, *dim, *seed+1, 1, partOpts...),
 		})
 	case "param":
 		serveForever(*listen, map[string]any{"ParamServer": dist.NewParamServer()})
@@ -143,10 +183,11 @@ func main() {
 		for e := 0; e < *epochs; e++ {
 			// Rank 0 starts each epoch on the lock server.
 			if *rank == 0 {
-				c, err := rpc.Dial("tcp", *lock)
+				conn, err := net.DialTimeout("tcp", *lock, 5*time.Second)
 				if err != nil {
-					log.Fatal(err)
+					log.Fatalf("dial lock server %s: %v", *lock, err)
 				}
+				c := rpc.NewClient(conn)
 				var rep dist.StartEpochReply
 				if err := c.Call("LockServer.StartEpoch", dist.StartEpochArgs{}, &rep); err != nil {
 					log.Fatal(err)

@@ -26,6 +26,19 @@ type DistributedConfig struct {
 	SyncInterval time.Duration
 	// Train carries the per-node hyperparameters.
 	Train TrainConfig
+	// LeaseTTL enables fault-tolerant leasing: a trainer that stops
+	// heartbeating loses its bucket lease after this long, the bucket is
+	// re-leased to a survivor, and the epoch still completes. 0 keeps the
+	// fail-stop model (any node error fails the run).
+	LeaseTTL time.Duration
+	// CheckpointDir makes the partition servers durable (shards persisted to
+	// this directory) and the run resumable: TrainDistributed pointed at a
+	// directory holding a previous run's checkpoint continues from the last
+	// consistency cut instead of epoch 0.
+	CheckpointDir string
+	// CheckpointEvery takes background checkpoints at this period (requires
+	// CheckpointDir; 0 checkpoints only at the end of each epoch).
+	CheckpointEvery time.Duration
 }
 
 // DistributedResult reports a distributed run.
@@ -65,23 +78,35 @@ func TrainDistributed(g *Graph, cfg DistributedConfig) (*DistributedResult, erro
 		return nil, err
 	}
 	cl, err := dist.NewCluster(g, order, dist.ClusterConfig{
-		Machines:     cfg.Machines,
-		SyncInterval: cfg.SyncInterval,
-		Seed:         cfg.Train.Seed + 1,
-		Train:        cfg.Train,
-		InitScale:    cfg.Train.InitScale,
+		Machines:        cfg.Machines,
+		SyncInterval:    cfg.SyncInterval,
+		Seed:            cfg.Train.Seed + 1,
+		Train:           cfg.Train,
+		InitScale:       cfg.Train.InitScale,
+		LeaseTTL:        cfg.LeaseTTL,
+		CheckpointDir:   cfg.CheckpointDir,
+		CheckpointEvery: cfg.CheckpointEvery,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := &DistributedResult{Cluster: cl}
-	for e := 0; e < cfg.Epochs; e++ {
+	// NextEpoch rather than a 0-based count: a resumed run finishes the
+	// interrupted epoch and continues to cfg.Epochs instead of re-training
+	// cfg.Epochs more.
+	for cl.NextEpoch() <= cfg.Epochs {
 		st, err := cl.RunEpoch()
 		if err != nil {
 			cl.Shutdown()
 			return nil, err
 		}
 		res.EpochStats = append(res.EpochStats, st)
+		if cfg.CheckpointDir != "" {
+			if err := cl.Checkpoint(); err != nil {
+				cl.Shutdown()
+				return nil, err
+			}
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,345 @@
+package dist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pbg/internal/datagen"
+	"pbg/internal/eval"
+	"pbg/internal/graph"
+	"pbg/internal/obs"
+	"pbg/internal/partition"
+	"pbg/internal/storage"
+	"pbg/internal/train"
+)
+
+// chaosGraph builds the social graph the chaos tests share. Its single
+// relation uses the identity operator, so there are no relation parameters
+// and the async parameter sync is a no-op — with Workers:1 the whole cluster
+// is race-clean and these tests run under `go test -race` (the CI chaos
+// smoke).
+func chaosGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := datagen.Social(datagen.SocialConfig{
+		Nodes: 600, AvgOutDegree: 10, NumPartitions: 4, Seed: 71,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func insideOutOrder(t *testing.T, parts int) []partition.Bucket {
+	t.Helper()
+	order, err := partition.Order(partition.OrderInsideOut, parts, parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return order
+}
+
+// evalMRR ranks test edges over emb with the shared protocol, so the
+// distributed and single-machine numbers are comparable.
+func evalMRR(t *testing.T, g, test *graph.Graph, emb eval.EmbeddingSource, scorers eval.ScorerSource, dim int) float64 {
+	t.Helper()
+	rk := eval.NewRanker(g.Schema, emb, scorers, dim, graph.ComputeDegrees(g))
+	m, err := rk.Evaluate(test.Edges, eval.Config{
+		Mode: eval.CandidatesUniform, K: 200, MaxEdges: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.MRR
+}
+
+// TestClusterTrainerDeathMidEpoch is the ISSUE's acceptance bar: a trainer is
+// SIGKILLed (chaos-killed: every RPC fails terminally, abandon included)
+// partway through an epoch while holding a bucket lease. The lease must
+// expire, the survivor must re-lease and retrain the orphaned bucket, every
+// epoch must still cover the full grid, and the embeddings must reach MRR
+// parity with a single-machine run of the same budget.
+func TestClusterTrainerDeathMidEpoch(t *testing.T) {
+	const (
+		parts  = 4
+		dim    = 16
+		epochs = 4
+		ttl    = 150 * time.Millisecond
+	)
+	g := chaosGraph(t)
+	gtr, _, test := g.Split(0, 0.1, 3)
+
+	// Rank 1's first three partition-server Gets succeed — enough to train
+	// its first bucket and start checking out its second — then the process
+	// "dies" with a lease held.
+	chaos := NewChaos(1)
+	chaos.KillAfter("rank1", "PartitionServer.Get", 3)
+
+	hub := obs.NewQuietHub()
+	cl, err := NewCluster(gtr, insideOutOrder(t, parts), ClusterConfig{
+		Machines:     2,
+		SyncInterval: 5 * time.Millisecond,
+		Seed:         6,
+		Train:        train.Config{Dim: dim, Workers: 1, Seed: 5, Obs: hub},
+		LeaseTTL:     ttl,
+		Retry:        RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond},
+		Chaos:        chaos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Shutdown()
+
+	for epoch := 1; epoch <= epochs; epoch++ {
+		st, err := cl.RunEpoch()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if len(st.Failed) != 1 || st.Failed[0] != 1 {
+			t.Fatalf("epoch %d failed ranks = %v, want [1]", epoch, st.Failed)
+		}
+		// The grid is still covered in full: buckets rank 1 committed before
+		// dying plus everything the survivor trained (including the bucket
+		// whose lease expired).
+		if st.Buckets != parts*parts {
+			t.Fatalf("epoch %d trained %d buckets, want %d", epoch, st.Buckets, parts*parts)
+		}
+	}
+	t.Log(chaos.Stats())
+
+	// The lease expiry is observable on /metrics.
+	var buf bytes.Buffer
+	if err := hub.Reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// (leases_lost stays 0 here: a killed trainer never observes the loss —
+	// only the lock server's expiry counter records it.)
+	if !promCounterPositive(buf.String(), "pbg_dist_lease_expiries_total") {
+		t.Fatalf("metrics report no lease expiries:\n%s", buf.String())
+	}
+
+	// MRR parity with a single-machine run: same embedding seed, same
+	// training budget (rank 1's lost work is retrained by rank 0).
+	store, err := cl.EvalStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	view := train.NewStoreView(store, g.Schema)
+	defer view.Close()
+	distMRR := evalMRR(t, gtr, test, view, cl.Nodes[0].Trainer(), dim)
+
+	mem := storage.NewMemStore(gtr.Schema, dim, 6, 1)
+	tr, err := train.New(gtr, mem, train.Config{Dim: dim, Epochs: epochs, Workers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Train(nil); err != nil {
+		t.Fatal(err)
+	}
+	sview := train.NewStoreView(mem, gtr.Schema)
+	defer sview.Close()
+	soloMRR := evalMRR(t, gtr, test, sview, tr, dim)
+
+	t.Logf("MRR: distributed-with-death %.4f, single-machine %.4f", distMRR, soloMRR)
+	if distMRR < 0.08 {
+		t.Fatalf("distributed MRR %.4f below absolute floor 0.08", distMRR)
+	}
+	if distMRR < 0.7*soloMRR {
+		t.Fatalf("distributed MRR %.4f not within 70%% of single-machine %.4f", distMRR, soloMRR)
+	}
+}
+
+// promCounterPositive reports whether the rendered /metrics text has a sample
+// of the named counter (any label set) with a positive value.
+func promCounterPositive(text, name string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" && fields[1] != "0.000000" {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClusterRPCChaosEpochExact runs two epochs under a probabilistic fault
+// schedule — dropped sends on shard fetches and lease acquires, dropped
+// replies on shard writes and releases — and requires *exact* accounting:
+// every bucket trained once, every edge visited once per epoch, no node
+// failures. Retries plus server-side idempotency must make the chaos
+// invisible to the bookkeeping.
+func TestClusterRPCChaosEpochExact(t *testing.T) {
+	const parts = 4
+	g := chaosGraph(t)
+
+	// DropSend is safe on any method (the call never executes); DropReply is
+	// restricted to idempotent methods (Put replaces, ReleaseBucket commits
+	// through the released-token map).
+	chaos := NewChaos(42,
+		ChaosRule{Method: "PartitionServer.Get", DropSend: 0.05},
+		ChaosRule{Method: "LockServer.AcquireBucket", DropSend: 0.05},
+		ChaosRule{Method: "PartitionServer.Put", DropReply: 0.05},
+		ChaosRule{Method: "LockServer.ReleaseBucket", DropReply: 0.1},
+	)
+	cl, err := NewCluster(g, insideOutOrder(t, parts), ClusterConfig{
+		Machines:     2,
+		SyncInterval: 5 * time.Millisecond,
+		Seed:         3,
+		Train:        train.Config{Dim: 16, Workers: 1, Seed: 9},
+		LeaseTTL:     500 * time.Millisecond,
+		Retry:        RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond},
+		Chaos:        chaos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Shutdown()
+
+	for epoch := 1; epoch <= 2; epoch++ {
+		st, err := cl.RunEpoch()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if len(st.Failed) != 0 {
+			t.Fatalf("epoch %d failed ranks = %v, want none", epoch, st.Failed)
+		}
+		if st.Buckets != parts*parts {
+			t.Fatalf("epoch %d trained %d buckets, want %d", epoch, st.Buckets, parts*parts)
+		}
+		if st.Edges != g.Edges.Len() {
+			t.Fatalf("epoch %d trained %d edges, want %d", epoch, st.Edges, g.Edges.Len())
+		}
+	}
+	t.Log(chaos.Stats())
+}
+
+// TestClusterCheckpointResume shuts a durable cluster down after two epochs
+// and boots a fresh one over the same directory: the new cluster must resume
+// at epoch 3 with bit-exact embeddings, then train a full epoch.
+func TestClusterCheckpointResume(t *testing.T) {
+	const (
+		parts = 4
+		dim   = 16
+	)
+	g := chaosGraph(t)
+	order := insideOutOrder(t, parts)
+	dir := t.TempDir()
+	cfg := ClusterConfig{
+		Machines:      1,
+		SyncInterval:  5 * time.Millisecond,
+		Seed:          3,
+		Train:         train.Config{Dim: dim, Workers: 1, Seed: 9},
+		CheckpointDir: dir,
+	}
+
+	cl, err := NewCluster(g, order, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 1; epoch <= 2; epoch++ {
+		if got := cl.NextEpoch(); got != epoch {
+			t.Fatalf("NextEpoch = %d, want %d", got, epoch)
+		}
+		if _, err := cl.RunEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := evalShard(t, cl, 0, 1)
+	cl.Shutdown()
+
+	// A fresh cluster over the same directory resumes past the two finished
+	// epochs with the exact embeddings the old one shut down with.
+	cl2, err := NewCluster(g, order, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Shutdown()
+	if got := cl2.NextEpoch(); got != 3 {
+		t.Fatalf("resumed NextEpoch = %d, want 3", got)
+	}
+	after := evalShard(t, cl2, 0, 1)
+	if len(before) == 0 || len(before) != len(after) {
+		t.Fatalf("shard sizes differ: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("resumed embedding diverges at %d: %v vs %v", i, before[i], after[i])
+		}
+	}
+	st, err := cl2.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Buckets != parts*parts {
+		t.Fatalf("post-resume epoch trained %d buckets, want %d", st.Buckets, parts*parts)
+	}
+	if got := cl2.NextEpoch(); got != 4 {
+		t.Fatalf("NextEpoch after resume epoch = %d, want 4", got)
+	}
+}
+
+// TestClusterMidEpochResume boots a cluster over a manifest cut mid-epoch
+// (the crash-during-epoch case): the interrupted epoch continues — no fresh
+// StartEpoch — and only the not-yet-done buckets are trained.
+func TestClusterMidEpochResume(t *testing.T) {
+	const parts = 4
+	g := chaosGraph(t)
+	order := insideOutOrder(t, parts)
+	dir := t.TempDir()
+
+	const done = 6
+	if err := WriteManifest(dir, &Manifest{Epoch: 1, Done: order[:done]}); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(g, order, ClusterConfig{
+		Machines:      1,
+		SyncInterval:  5 * time.Millisecond,
+		Seed:          3,
+		Train:         train.Config{Dim: 16, Workers: 1, Seed: 9},
+		CheckpointDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Shutdown()
+	if got := cl.NextEpoch(); got != 1 {
+		t.Fatalf("NextEpoch = %d, want the interrupted epoch 1", got)
+	}
+	st, err := cl.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := parts*parts - done; st.Buckets != want {
+		t.Fatalf("resumed epoch trained %d buckets, want the remaining %d", st.Buckets, want)
+	}
+	if got := cl.NextEpoch(); got != 2 {
+		t.Fatalf("NextEpoch after finishing the interrupted epoch = %d, want 2", got)
+	}
+}
+
+// evalShard snapshots one shard's embeddings through the cluster's read-only
+// evaluation store.
+func evalShard(t *testing.T, cl *Cluster, typeIdx, part int) []float32 {
+	t.Helper()
+	store, err := cl.EvalStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	sh, err := store.Acquire(typeIdx, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]float32(nil), sh.Embs...)
+	if err := store.Release(typeIdx, part); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

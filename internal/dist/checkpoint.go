@@ -1,0 +1,89 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"pbg/internal/partition"
+)
+
+// manifestName is the checkpoint manifest's filename inside the checkpoint
+// directory (the same directory the durable partition servers write shards
+// to, so one directory is a complete restartable model).
+const manifestName = "MANIFEST.json"
+
+// Manifest is the consistency cut a Cluster checkpoint records: the epoch in
+// progress, the buckets already committed in it, and the global relation
+// parameters. Together with the durable shard files beside it, it lets a
+// crashed run resume from the cut instead of epoch 0. The done-bucket set is
+// snapshotted before the shards are flushed, so the durable shards are
+// always at least as new as the cut — resuming retrains at most the buckets
+// that were in flight, never loses a committed one.
+type Manifest struct {
+	// Epoch is the lock-server epoch at the cut (0 = before the first
+	// StartEpoch).
+	Epoch int
+	// Done lists the buckets committed in Epoch at the cut.
+	Done []partition.Bucket
+	// RelParams carries the parameter server's relation blocks (omitted for
+	// parameter-free operators).
+	RelParams []RelBlock
+}
+
+// RelBlock is one relation's global parameter block.
+type RelBlock struct {
+	Rel    int
+	Params []float32
+}
+
+// WriteManifest atomically persists m into dir (temp file + rename, so a
+// crash mid-checkpoint leaves the previous manifest intact).
+func WriteManifest(dir string, m *Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// ReadManifest loads dir's checkpoint manifest. ok is false (with a nil
+// error) when the directory holds no manifest — a fresh run.
+func ReadManifest(dir string) (m *Manifest, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	m = new(Manifest)
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, false, fmt.Errorf("dist: corrupt checkpoint manifest in %s: %w", dir, err)
+	}
+	return m, true, nil
+}

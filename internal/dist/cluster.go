@@ -35,6 +35,24 @@ type ClusterConfig struct {
 	Train train.Config
 	// InitScale scales shard initialisation. Default Train.InitScale, then 1.
 	InitScale float32
+	// LeaseTTL enables fault tolerance: bucket leases expire after this long
+	// without a heartbeat and are re-leased, and RunEpoch survives node
+	// deaths as long as one node lives. 0 (the default) keeps the fail-stop
+	// model: any node error fails the epoch.
+	LeaseTTL time.Duration
+	// CheckpointDir, when set, makes the partition servers durable (shards
+	// written through to this directory) and enables Checkpoint/resume: a
+	// NewCluster pointed at a directory holding a previous run's checkpoint
+	// resumes from its consistency cut instead of epoch 0.
+	CheckpointDir string
+	// CheckpointEvery runs Checkpoint in the background at this period
+	// (requires CheckpointDir; 0 = only explicit Checkpoint calls).
+	CheckpointEvery time.Duration
+	// Retry bounds every client's RPC patience; zero-value = defaults.
+	Retry RetryPolicy
+	// Chaos, when non-nil, injects deterministic faults into the trainers'
+	// RPC traffic (tests only).
+	Chaos *Chaos
 }
 
 // Cluster wires every §4.2 component together inside one process, over real
@@ -47,12 +65,27 @@ type Cluster struct {
 	Nodes []*Node
 
 	g         *graph.Graph
-	dim       int
+	cfg       ClusterConfig
 	initScale float32
 	partAddrs []string
 	listeners []net.Listener
-	lock      *rpc.Client
+	lock      *retryClient
 	shutdown  sync.Once
+
+	// Direct references to the in-process servers, for checkpointing (the
+	// RPC surface stays the only interface trainers use).
+	lockSrv  *LockServer
+	partSrvs []*PartitionServer
+	paramSrv *ParamServer
+
+	// nextEpoch is the lock-server epoch the next RunEpoch will train;
+	// pendingResume means that epoch was already started by the checkpointed
+	// run, so the next RunEpoch must not call StartEpoch again.
+	nextEpoch     int
+	pendingResume bool
+
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 }
 
 // serve registers the receivers on a fresh loopback listener and serves
@@ -82,6 +115,10 @@ func serve(receivers map[string]any) (net.Listener, string, error) {
 
 // NewCluster boots the deployment. order is the bucket order the lock
 // server leases from (it must cover the partition grid g's schema implies).
+// With CheckpointDir set and a manifest present there, the cluster resumes
+// from the checkpoint's consistency cut: durable shards are reloaded
+// lazily, relation parameters are restored, and the interrupted epoch (if
+// any) continues from its done-bucket set.
 func NewCluster(g *graph.Graph, order []partition.Bucket, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Machines <= 0 {
 		return nil, fmt.Errorf("dist: Machines must be positive, got %d", cfg.Machines)
@@ -100,6 +137,9 @@ func NewCluster(g *graph.Graph, order []partition.Bucket, cfg ClusterConfig) (*C
 			}
 		}
 	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("dist: CheckpointEvery needs CheckpointDir")
+	}
 	initScale := cfg.InitScale
 	if initScale == 0 {
 		initScale = cfg.Train.InitScale
@@ -107,33 +147,78 @@ func NewCluster(g *graph.Graph, order []partition.Bucket, cfg ClusterConfig) (*C
 	if initScale == 0 {
 		initScale = 1
 	}
-	cl := &Cluster{g: g, dim: cfg.Train.Dim, initScale: initScale}
+	cl := &Cluster{g: g, cfg: cfg, initScale: initScale, nextEpoch: 1}
 	fail := func(err error) (*Cluster, error) {
 		cl.Shutdown()
 		return nil, err
 	}
 
-	l, lockAddr, err := serve(map[string]any{"LockServer": NewLockServer(order)})
-	if err != nil {
-		return fail(err)
-	}
-	cl.listeners = append(cl.listeners, l)
-	for i := 0; i < cfg.Machines; i++ {
-		ps := NewPartitionServer(g.Schema, cfg.Train.Dim, cfg.Seed, partServerStripes)
-		l, addr, err := serve(map[string]any{"PartitionServer": ps})
+	var manifest *Manifest
+	if cfg.CheckpointDir != "" {
+		m, ok, err := ReadManifest(cfg.CheckpointDir)
 		if err != nil {
 			return fail(err)
 		}
-		cl.listeners = append(cl.listeners, l)
-		cl.partAddrs = append(cl.partAddrs, addr)
+		if ok {
+			manifest = m
+		}
 	}
-	l, paramAddr, err := serve(map[string]any{"ParamServer": NewParamServer()})
+
+	lockOpts := []LockOption{WithLeaseTTL(cfg.LeaseTTL)}
+	if cfg.Train.Obs != nil {
+		lockOpts = append(lockOpts, WithLockObs(cfg.Train.Obs))
+	}
+	epochBase := 0
+	if manifest != nil && manifest.Epoch > 0 {
+		lockOpts = append(lockOpts, WithRestoredEpoch(manifest.Epoch, manifest.Done))
+		// An interrupted epoch (done set not covering the grid) continues
+		// without a fresh StartEpoch; a cut taken between epochs moves on.
+		cl.pendingResume = len(manifest.Done) < len(order)
+		if cl.pendingResume {
+			cl.nextEpoch = manifest.Epoch
+			epochBase = manifest.Epoch - 1
+		} else {
+			cl.nextEpoch = manifest.Epoch + 1
+			epochBase = manifest.Epoch
+		}
+	}
+	cl.lockSrv = NewLockServer(order, lockOpts...)
+	l, lockAddr, err := serve(map[string]any{"LockServer": cl.lockSrv})
 	if err != nil {
 		return fail(err)
 	}
 	cl.listeners = append(cl.listeners, l)
 
-	cl.lock, err = rpc.Dial("tcp", lockAddr)
+	var partOpts []PartOption
+	if cfg.CheckpointDir != "" {
+		partOpts = append(partOpts, WithDurableDir(cfg.CheckpointDir))
+	}
+	if cfg.Train.Obs != nil {
+		partOpts = append(partOpts, WithPartObs(cfg.Train.Obs))
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		ps := NewPartitionServer(g.Schema, cfg.Train.Dim, cfg.Seed, partServerStripes, partOpts...)
+		l, addr, err := serve(map[string]any{"PartitionServer": ps})
+		if err != nil {
+			return fail(err)
+		}
+		cl.partSrvs = append(cl.partSrvs, ps)
+		cl.listeners = append(cl.listeners, l)
+		cl.partAddrs = append(cl.partAddrs, addr)
+	}
+	cl.paramSrv = NewParamServer()
+	if manifest != nil {
+		cl.paramSrv.restore(manifest.RelParams)
+	}
+	l, paramAddr, err := serve(map[string]any{"ParamServer": cl.paramSrv})
+	if err != nil {
+		return fail(err)
+	}
+	cl.listeners = append(cl.listeners, l)
+
+	// The cluster's own control-plane client carries the "cluster" chaos tag,
+	// so fault schedules can target trainers without severing the harness.
+	cl.lock, err = dialRetry("lock server", lockAddr, cfg.Retry, cfg.Chaos, "cluster")
 	if err != nil {
 		return fail(err)
 	}
@@ -148,21 +233,44 @@ func NewCluster(g *graph.Graph, order []partition.Bucket, cfg ClusterConfig) (*C
 			Train:          trainCfg,
 			SyncInterval:   cfg.SyncInterval,
 			InitScale:      initScale,
+			Retry:          cfg.Retry,
+			Chaos:          cfg.Chaos,
+			EpochBase:      epochBase,
 		})
 		if err != nil {
 			return fail(err)
 		}
 		cl.Nodes = append(cl.Nodes, node)
 	}
+	if cfg.CheckpointEvery > 0 {
+		cl.ckptStop = make(chan struct{})
+		cl.ckptDone = make(chan struct{})
+		go cl.checkpointLoop()
+	}
 	return cl, nil
 }
 
+// NextEpoch reports the lock-server epoch the next RunEpoch call will train
+// (1-based). After a resume this is the interrupted epoch, so callers loop
+// `for cl.NextEpoch() <= epochs` instead of counting from 1 themselves.
+func (cl *Cluster) NextEpoch() int { return cl.nextEpoch }
+
 // RunEpoch starts an epoch on the lock server and runs every node's share
-// concurrently, returning the merged statistics.
+// concurrently, returning the merged statistics. With LeaseTTL set, node
+// deaths mid-epoch are tolerated: the dead nodes' leases expire, survivors
+// retrain their buckets, and the failed ranks are reported in
+// EpochStats.Failed — the epoch only fails if every node dies. Without a
+// TTL any node error fails the epoch (the original fail-stop model).
 func (cl *Cluster) RunEpoch() (EpochStats, error) {
-	var rep StartEpochReply
-	if err := cl.lock.Call("LockServer.StartEpoch", StartEpochArgs{}, &rep); err != nil {
-		return EpochStats{}, err
+	if cl.pendingResume {
+		// The checkpointed run already started this epoch; its done buckets
+		// are marked on the scheduler and must not be reset.
+		cl.pendingResume = false
+	} else {
+		var rep StartEpochReply
+		if err := cl.lock.Call("LockServer.StartEpoch", StartEpochArgs{}, &rep); err != nil {
+			return EpochStats{}, err
+		}
 	}
 	start := time.Now()
 	stats := make([]EpochStats, len(cl.Nodes))
@@ -177,19 +285,39 @@ func (cl *Cluster) RunEpoch() (EpochStats, error) {
 	}
 	wg.Wait()
 	var merged EpochStats
+	var failed []int
 	for i := range cl.Nodes {
 		if errs[i] != nil {
-			return merged, errs[i]
+			failed = append(failed, i)
 		}
+	}
+	if len(failed) > 0 {
+		if cl.cfg.LeaseTTL <= 0 {
+			return merged, errs[failed[0]]
+		}
+		if len(failed) == len(cl.Nodes) {
+			return merged, fmt.Errorf("dist: all %d nodes failed; first: %w", len(cl.Nodes), errs[failed[0]])
+		}
+	}
+	merged.Failed = failed
+	isFailed := make(map[int]bool, len(failed))
+	for _, r := range failed {
+		isFailed[r] = true
 	}
 	// Second sync round after the barrier: each node's end-of-epoch sync ran
 	// before later-finishing nodes pushed their final deltas, so adopt the
 	// settled global block everywhere before anyone evaluates.
-	for _, n := range cl.Nodes {
+	for i, n := range cl.Nodes {
+		if isFailed[i] {
+			continue
+		}
 		if err := n.SyncParams(); err != nil {
 			return merged, err
 		}
 	}
+	// Merge every node's stats, failed ones included: buckets a dead node
+	// committed before dying are real work (its uncommitted bucket was
+	// retrained by a survivor), so Buckets still sums to the full grid.
 	for i := range cl.Nodes {
 		merged.Loss += stats[i].Loss
 		merged.Edges += stats[i].Edges
@@ -202,24 +330,83 @@ func (cl *Cluster) RunEpoch() (EpochStats, error) {
 	}
 	sort.Slice(merged.PerNode, func(i, j int) bool { return merged.PerNode[i].Rank < merged.PerNode[j].Rank })
 	merged.Duration = time.Since(start)
+	cl.nextEpoch++
 	return merged, nil
+}
+
+// Checkpoint writes a consistency cut into CheckpointDir: the lock server's
+// epoch progress is snapshotted first, then the durable partition servers
+// flush their write-behind queues, then the manifest (epoch, done buckets,
+// relation parameters) commits atomically. Because the progress snapshot
+// precedes the flush, the durable shards are always at least as new as the
+// manifest's cut — a resume retrains at most the buckets that were in
+// flight, never loses a committed one.
+func (cl *Cluster) Checkpoint() error {
+	if cl.cfg.CheckpointDir == "" {
+		return fmt.Errorf("dist: cluster has no CheckpointDir")
+	}
+	var es EpochStateReply
+	if err := cl.lock.Call("LockServer.EpochState", EpochStateArgs{}, &es); err != nil {
+		return err
+	}
+	m := &Manifest{Epoch: es.Epoch, Done: es.Done}
+	for r := range cl.g.Schema.Relations {
+		var rep SyncReply
+		if err := cl.paramSrv.Pull(PullArgs{Rel: r}, &rep); err != nil {
+			continue // parameter-free relation, or not initialised yet
+		}
+		m.RelParams = append(m.RelParams, RelBlock{Rel: r, Params: rep.Params})
+	}
+	for _, ps := range cl.partSrvs {
+		if err := ps.flushDurable(); err != nil {
+			return err
+		}
+	}
+	return WriteManifest(cl.cfg.CheckpointDir, m)
+}
+
+// checkpointLoop runs Checkpoint at CheckpointEvery until Shutdown. Failures
+// are retried next tick; an async checkpoint that raced shutdown is simply
+// older than one taken explicitly before Shutdown.
+func (cl *Cluster) checkpointLoop() {
+	defer close(cl.ckptDone)
+	ticker := time.NewTicker(cl.cfg.CheckpointEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cl.ckptStop:
+			return
+		case <-ticker.C:
+			_ = cl.Checkpoint()
+		}
+	}
 }
 
 // EvalStore returns a read-only store over the cluster's current embeddings
 // (fetched lazily from the partition servers). The caller must Close it; the
-// cluster itself stays alive for further epochs.
+// cluster itself stays alive for further epochs. The store is exempt from
+// the cluster's chaos schedule — evaluation is the harness, not the system
+// under test.
 func (cl *Cluster) EvalStore() (storage.Store, error) {
-	return dialStore(cl.g.Schema, cl.dim, cl.initScale, true, cl.partAddrs)
+	return dialStore(cl.g.Schema, cl.cfg.Train.Dim, cl.initScale, true, cl.partAddrs,
+		storeOpts{policy: cl.cfg.Retry})
 }
 
 // Shutdown stops every node and server. Safe to call more than once.
 func (cl *Cluster) Shutdown() {
 	cl.shutdown.Do(func() {
+		if cl.ckptStop != nil {
+			close(cl.ckptStop)
+			<-cl.ckptDone
+		}
 		for _, n := range cl.Nodes {
 			n.Close()
 		}
 		if cl.lock != nil {
 			cl.lock.Close()
+		}
+		for _, ps := range cl.partSrvs {
+			ps.closeDurable()
 		}
 		for _, l := range cl.listeners {
 			l.Close()

@@ -37,13 +37,71 @@ package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"math"
+	"net"
+	"net/rpc"
 	"strings"
+	"time"
 
 	"pbg/internal/partition"
 	"pbg/internal/storage"
 )
+
+// Fencing and lease-lifecycle rejections cross the wire as net/rpc server
+// errors, which arrive as bare strings; they are therefore matched by prefix.
+// staleLeaseMsg marks lock-server rejections (the lease expired or was
+// re-granted under a newer token); fencedWriteMsg marks partition-server
+// rejections of writes carrying a token older than one the shard has already
+// seen. Both mean the same thing to a trainer: it is a zombie for that
+// bucket and must stop trying to commit it.
+const (
+	staleLeaseMsg  = "dist: stale lease"
+	fencedWriteMsg = "dist: fenced write"
+)
+
+// IsStaleLease reports whether err is a lock-server stale-lease rejection
+// (lease expired, re-granted, or heartbeated/released with an old token).
+func IsStaleLease(err error) bool {
+	return err != nil && strings.Contains(err.Error(), staleLeaseMsg)
+}
+
+// IsFenced reports whether err means the caller has lost its write authority
+// for a bucket — either a lock-server stale-lease rejection or a partition
+// server refusing a shard write whose fencing token has been superseded.
+func IsFenced(err error) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, staleLeaseMsg) || strings.Contains(s, fencedWriteMsg)
+}
+
+// isTransientRPC classifies an RPC failure as retryable: connection-level
+// trouble (dial failures, broken pipes, timeouts, the client shutting the
+// connection down after an I/O error) is transient, while an error the
+// server itself returned (rpc.ServerError) is a definitive answer and must
+// not be retried — retrying a stale-lease rejection would never succeed,
+// and retrying an application error hides it.
+func isTransientRPC(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se rpc.ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, errCallTimeout) || errors.Is(err, errChaosDrop)
+}
 
 // SplitAddrs parses a comma-separated address list, returning nil for the
 // empty string (so optional server lists can be passed straight from flags).
@@ -160,13 +218,52 @@ type AcquireReply struct {
 	// Done means every bucket of the requested epoch has been trained (or
 	// the server has already moved past that epoch).
 	Done bool
+	// Token fences the lease: it is strictly monotonic across all grants, it
+	// must accompany Heartbeat/ReleaseBucket/AbandonBucket calls for this
+	// lease, and the trainer stamps it on every partition-server write for
+	// the bucket so a write from a superseded lease can be rejected.
+	Token uint64
+	// TTL is the lease time-to-live the server enforces (0 = leases never
+	// expire). A trainer must Heartbeat well within TTL or the lease is
+	// abandoned back to the scheduler for re-leasing.
+	TTL time.Duration
+	// RetryAfter hints how long the caller should wait before re-asking when
+	// the reply is neither Granted nor Done — longer when the epoch has not
+	// started yet, shorter when buckets are merely contended — so trainers
+	// stop busy-polling the lock server.
+	RetryAfter time.Duration
 }
 
-// ReleaseArgs returns a completed (or abandoned) bucket lease.
+// ReleaseArgs returns a completed (or abandoned) bucket lease. Token must be
+// the fencing token the lease was granted under; a stale token (the lease
+// expired and was re-granted) is rejected with a staleLeaseMsg error.
 type ReleaseArgs struct {
 	Epoch  int
 	Rank   int
 	Bucket partition.Bucket
+	Token  uint64
+}
+
+// HeartbeatArgs renews the lease on Bucket. The server resets the lease
+// deadline to now+TTL; a heartbeat carrying a stale token is rejected so a
+// zombie trainer learns it has lost the bucket.
+type HeartbeatArgs struct {
+	Epoch  int
+	Rank   int
+	Bucket partition.Bucket
+	Token  uint64
+}
+
+// EpochStateArgs asks the lock server for its current epoch progress.
+type EpochStateArgs struct{}
+
+// EpochStateReply snapshots epoch progress for checkpointing: the current
+// epoch, the buckets already completed in it, and how many leases are
+// outstanding.
+type EpochStateReply struct {
+	Epoch  int
+	Done   []partition.Bucket
+	Leases int
 }
 
 // Ack is an empty RPC reply.
@@ -183,6 +280,12 @@ type GetArgs struct {
 	Count     int // rows the shard must have (from the schema)
 	Dim       int
 	InitScale float32
+	// Token is the fencing token of the bucket lease this read serves (0 =
+	// unfenced, e.g. an evaluation snapshot). A non-zero token advances the
+	// shard's fence, after which writes under older tokens are rejected; a
+	// read under an already-superseded token is itself rejected so a zombie
+	// trainer fails before wasting a bucket of compute.
+	Token uint64
 }
 
 // ShardReply carries one shard.
@@ -190,17 +293,28 @@ type ShardReply struct {
 	Shard *ShardPayload
 }
 
-// PutArgs stores a shard back, overwriting the server copy.
+// PutArgs stores a shard back, overwriting the server copy. Token fences the
+// write (0 = unfenced): a Put whose token is older than the shard's fence is
+// rejected, so a zombie trainer whose lease expired can never overwrite the
+// re-leased holder's committed state.
 type PutArgs struct {
 	Shard *ShardPayload
+	Token uint64
 }
 
 // SwapArgs combines Put(Old) and Get(new key) in a single round trip — the
-// §4.2 partition swap.
+// §4.2 partition swap. Token fences the Put half (the Get half carries its
+// own token).
 type SwapArgs struct {
-	Put *ShardPayload
-	Get GetArgs
+	Put   *ShardPayload
+	Get   GetArgs
+	Token uint64
 }
+
+// FlushArgs asks a durable partition server to drain its write-behind queue
+// so every shard accepted so far is on disk (checkpoint barrier). A no-op on
+// memory-only servers.
+type FlushArgs struct{}
 
 // --- Parameter server wire types ---
 

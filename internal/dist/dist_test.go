@@ -76,6 +76,7 @@ func TestLockServerDisjointLeases(t *testing.T) {
 			t.Fatalf("epoch = %d, want %d", se.Epoch, epoch)
 		}
 		held := map[int]partition.Bucket{} // rank -> leased bucket
+		tokens := map[int]uint64{}         // rank -> lease fencing token
 		trained := map[partition.Bucket]int{}
 		grants := 0
 		for done := false; !done; {
@@ -104,8 +105,12 @@ func TestLockServerDisjointLeases(t *testing.T) {
 				if epoch == 1 && grants > 0 && !established[b.P1] && !established[b.P2] {
 					t.Fatalf("epoch 1: bucket %v granted with both partitions unestablished", b)
 				}
+				if rep.Token == 0 {
+					t.Fatalf("grant of %v carries no fencing token", b)
+				}
 				grants++
 				held[rank] = b
+				tokens[rank] = rep.Token
 				progressed = true
 			}
 			if done {
@@ -117,7 +122,7 @@ func TestLockServerDisjointLeases(t *testing.T) {
 				established[b.P1] = true
 				established[b.P2] = true
 				var ack Ack
-				if err := ls.ReleaseBucket(ReleaseArgs{Epoch: epoch, Rank: rank, Bucket: b}, &ack); err != nil {
+				if err := ls.ReleaseBucket(ReleaseArgs{Epoch: epoch, Rank: rank, Bucket: b, Token: tokens[rank]}, &ack); err != nil {
 					t.Fatal(err)
 				}
 				trained[b]++
@@ -175,7 +180,7 @@ func TestPartitionServerSwapRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	store, err := dialStore(schema, dim, 1, false, []string{addr})
+	store, err := dialStore(schema, dim, 1, false, []string{addr}, storeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +450,7 @@ func TestRemoteStoreBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	store, err := dialStore(schema, dim, 1, false, []string{addr})
+	store, err := dialStore(schema, dim, 1, false, []string{addr}, storeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,9 +3,27 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"pbg/internal/obs"
 	"pbg/internal/partition"
 )
+
+// Default RetryAfter hints handed to trainers that could not be granted a
+// bucket: polling for an epoch nobody has started is cheap to do rarely,
+// while a disjointness conflict usually clears as soon as another trainer
+// releases, so it re-polls faster.
+const (
+	retryAfterNotStarted = 5 * time.Millisecond
+	retryAfterContended  = 2 * time.Millisecond
+)
+
+// lease is one outstanding bucket grant.
+type lease struct {
+	rank    int
+	token   uint64
+	expires time.Time // zero when the server runs without a TTL
+}
 
 // LockServer is the central bucket-leasing service of §4.2. It wraps
 // partition.Scheduler — which enforces pairwise-disjoint in-flight buckets
@@ -15,25 +33,119 @@ import (
 // told to wait, and one asking for an already-superseded epoch is told that
 // epoch is done.
 //
-// A lease held by a trainer that dies without calling AbandonBucket is never
-// reclaimed (there is no heartbeat or timeout), so the epoch stalls — the
-// same restart-the-run failure model as the paper's implementation. Lease
-// TTLs would need trainer heartbeats to avoid handing a slow trainer's
-// partitions to a second writer.
+// Lease lifecycle: when built with WithLeaseTTL, every grant carries a
+// deadline and a strictly-monotonic fencing token. Trainers extend the
+// deadline with Heartbeat; a lease whose deadline passes is expired lazily
+// (on the next RPC of any kind) and its bucket is abandoned back to the
+// scheduler for re-leasing by a live trainer. The token fences the zombie
+// out: a late ReleaseBucket, AbandonBucket, or Heartbeat carrying the old
+// token is rejected with a staleLeaseMsg error, and partition servers reject
+// shard writes under superseded tokens (see PartitionServer), so two holders
+// of the same bucket can never both commit it. Without a TTL the server
+// keeps the original fail-stop model: a dead trainer's lease is never
+// reclaimed and the epoch stalls.
 type LockServer struct {
-	mu     sync.Mutex
-	sched  *partition.Scheduler
-	epoch  int                      // 0 until the first StartEpoch
-	leases map[partition.Bucket]int // bucket -> holding rank
+	mu        sync.Mutex
+	order     []partition.Bucket
+	sched     *partition.Scheduler
+	epoch     int // 0 until the first StartEpoch
+	ttl       time.Duration
+	now       func() time.Time // test clock hook
+	nextToken uint64
+	leases    map[partition.Bucket]*lease
+	// released records the token that completed each bucket this epoch, so a
+	// ReleaseBucket retried after a lost reply succeeds idempotently instead
+	// of erroring as "unleased".
+	released map[partition.Bucket]uint64
+
+	expiries      *obs.Counter
+	fencedRejects *obs.Counter
+	leasesHeld    *obs.Gauge
+}
+
+// LockOption configures a LockServer at construction (options rather than
+// setter methods: net/rpc registration warns about exported methods that do
+// not match the RPC signature).
+type LockOption func(*LockServer)
+
+// WithLeaseTTL enables lease expiry: grants carry deadline now+d, renewable
+// via Heartbeat; expired leases are abandoned for re-leasing. d <= 0 keeps
+// leases eternal.
+func WithLeaseTTL(d time.Duration) LockOption {
+	return func(ls *LockServer) { ls.ttl = d }
+}
+
+// WithLockObs publishes the server's lease metrics (expiries, fencing
+// rejections, leases held) on h's registry instead of a private quiet hub.
+func WithLockObs(h *obs.Hub) LockOption {
+	return func(ls *LockServer) {
+		if h == nil {
+			return
+		}
+		ls.bindMetrics(h.Reg)
+	}
+}
+
+// WithRestoredEpoch resumes the server from a checkpoint cut: the current
+// epoch is epoch with the done buckets already completed. From epoch 2 on
+// every partition counts as established (epoch 1 trained them); a mid-first-
+// epoch restore re-establishes only the partitions of done buckets.
+func WithRestoredEpoch(epoch int, done []partition.Bucket) LockOption {
+	return func(ls *LockServer) {
+		if epoch <= 0 {
+			return
+		}
+		ls.epoch = epoch
+		ls.sched = partition.NewScheduler(ls.order, epoch >= 2)
+		for _, b := range done {
+			ls.sched.MarkDone(b)
+		}
+	}
 }
 
 // NewLockServer creates a lock server over the given bucket order. The first
 // epoch starts when StartEpoch is called.
-func NewLockServer(order []partition.Bucket) *LockServer {
-	return &LockServer{
-		sched:  partition.NewScheduler(order, false),
-		leases: make(map[partition.Bucket]int),
+func NewLockServer(order []partition.Bucket, opts ...LockOption) *LockServer {
+	ls := &LockServer{
+		order:    append([]partition.Bucket(nil), order...),
+		sched:    partition.NewScheduler(order, false),
+		now:      time.Now,
+		leases:   make(map[partition.Bucket]*lease),
+		released: make(map[partition.Bucket]uint64),
 	}
+	ls.bindMetrics(obs.NewQuietHub().Reg)
+	for _, opt := range opts {
+		opt(ls)
+	}
+	return ls
+}
+
+func (ls *LockServer) bindMetrics(reg *obs.Registry) {
+	ls.expiries = reg.Counter("pbg_dist_lease_expiries_total")
+	ls.fencedRejects = reg.Counter(`pbg_dist_fenced_rejects_total{server="lock"}`)
+	ls.leasesHeld = reg.Gauge("pbg_dist_leases_held")
+}
+
+// expireLocked lazily reclaims leases whose deadline has passed: the lease
+// record is dropped (so the holder's token goes stale) and the bucket is
+// abandoned back to the scheduler for re-leasing. It runs at the start of
+// every RPC, so expiry needs no background sweeper and a paused test clock
+// makes it fully deterministic. Note the dead holder may still have the
+// bucket's partitions checked out in its memory — that is exactly what the
+// fencing tokens exist for.
+func (ls *LockServer) expireLocked() {
+	if ls.ttl <= 0 {
+		return
+	}
+	now := ls.now()
+	for b, l := range ls.leases {
+		if now.After(l.expires) {
+			delete(ls.leases, b)
+			ls.sched.Abandon(b)
+			ls.expiries.Inc()
+		}
+	}
+	ls.leasesHeld.Set(int64(len(ls.leases)))
 }
 
 // StartEpoch begins the next epoch. All buckets become pending again; the
@@ -42,6 +154,7 @@ func NewLockServer(order []partition.Bucket) *LockServer {
 func (ls *LockServer) StartEpoch(args StartEpochArgs, reply *StartEpochReply) error {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
+	ls.expireLocked()
 	if len(ls.leases) > 0 {
 		return fmt.Errorf("dist: StartEpoch with %d buckets still leased", len(ls.leases))
 	}
@@ -49,6 +162,7 @@ func (ls *LockServer) StartEpoch(args StartEpochArgs, reply *StartEpochReply) er
 		ls.sched.Reset()
 	}
 	ls.epoch++
+	ls.released = make(map[partition.Bucket]uint64)
 	reply.Epoch = ls.epoch
 	return nil
 }
@@ -57,9 +171,11 @@ func (ls *LockServer) StartEpoch(args StartEpochArgs, reply *StartEpochReply) er
 func (ls *LockServer) AcquireBucket(args AcquireArgs, reply *AcquireReply) error {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
+	ls.expireLocked()
 	switch {
 	case args.Epoch > ls.epoch:
 		// Epoch not started yet: retry after rank 0 calls StartEpoch.
+		reply.RetryAfter = retryAfterNotStarted
 		return nil
 	case args.Epoch < ls.epoch:
 		// The server has moved on; the requested epoch is complete.
@@ -72,47 +188,120 @@ func (ls *LockServer) AcquireBucket(args AcquireArgs, reply *AcquireReply) error
 		return nil
 	}
 	if !ok {
-		return nil // nothing disjoint available right now: retry
+		// Nothing disjoint available right now: retry after a release (or,
+		// with a TTL, at latest after the next expiry could free a bucket).
+		reply.RetryAfter = retryAfterContended
+		return nil
 	}
-	ls.leases[b] = args.Rank
+	ls.nextToken++
+	l := &lease{rank: args.Rank, token: ls.nextToken}
+	if ls.ttl > 0 {
+		l.expires = ls.now().Add(ls.ttl)
+	}
+	ls.leases[b] = l
+	ls.leasesHeld.Set(int64(len(ls.leases)))
 	reply.Granted = true
 	reply.Bucket = b
+	reply.Token = l.token
+	reply.TTL = ls.ttl
+	return nil
+}
+
+// Heartbeat extends the lease on args.Bucket to now+TTL. A heartbeat whose
+// lease has expired or been re-granted is rejected with a staleLeaseMsg
+// error, telling the (slow or partitioned) holder it must abandon the
+// bucket's results.
+func (ls *LockServer) Heartbeat(args HeartbeatArgs, reply *Ack) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.expireLocked()
+	l, ok := ls.leases[args.Bucket]
+	if !ok || l.token != args.Token {
+		ls.fencedRejects.Inc()
+		return fmt.Errorf("%s: heartbeat for bucket %v token %d (expired or re-granted)", staleLeaseMsg, args.Bucket, args.Token)
+	}
+	if args.Epoch != ls.epoch {
+		return fmt.Errorf("%s: heartbeat for bucket %v epoch %d, server at %d", staleLeaseMsg, args.Bucket, args.Epoch, ls.epoch)
+	}
+	if ls.ttl > 0 {
+		l.expires = ls.now().Add(ls.ttl)
+	}
 	return nil
 }
 
 // ReleaseBucket completes a lease: the bucket is marked done for this epoch
-// and its partitions become available (and count as established).
+// and its partitions become available (and count as established). The call
+// is idempotent under its token, so a retried release after a lost reply
+// succeeds; a release under a superseded token is rejected.
 func (ls *LockServer) ReleaseBucket(args ReleaseArgs, reply *Ack) error {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
-	holder, ok := ls.leases[args.Bucket]
+	ls.expireLocked()
+	l, ok := ls.leases[args.Bucket]
 	if !ok {
+		if args.Token != 0 && ls.released[args.Bucket] == args.Token {
+			return nil // duplicate of a release that already landed
+		}
+		if tok := ls.released[args.Bucket]; tok != 0 || args.Token != 0 {
+			ls.fencedRejects.Inc()
+			return fmt.Errorf("%s: release of bucket %v token %d by rank %d (lease expired or re-granted)", staleLeaseMsg, args.Bucket, args.Token, args.Rank)
+		}
 		return fmt.Errorf("dist: release of unleased bucket %v", args.Bucket)
 	}
-	if holder != args.Rank {
-		return fmt.Errorf("dist: rank %d releasing bucket %v leased to rank %d", args.Rank, args.Bucket, holder)
+	if args.Token != l.token {
+		ls.fencedRejects.Inc()
+		return fmt.Errorf("%s: release of bucket %v under token %d, current lease token %d", staleLeaseMsg, args.Bucket, args.Token, l.token)
+	}
+	if l.rank != args.Rank {
+		return fmt.Errorf("dist: rank %d releasing bucket %v leased to rank %d", args.Rank, args.Bucket, l.rank)
 	}
 	if args.Epoch != ls.epoch {
 		return fmt.Errorf("dist: release of bucket %v for epoch %d, server at %d", args.Bucket, args.Epoch, ls.epoch)
 	}
 	delete(ls.leases, args.Bucket)
+	ls.released[args.Bucket] = l.token
+	ls.leasesHeld.Set(int64(len(ls.leases)))
 	ls.sched.Release(args.Bucket)
 	return nil
 }
 
 // AbandonBucket returns a lease without marking the bucket done (trainer
-// failure); another trainer will pick it up.
+// failure); another trainer will pick it up. Abandoning a lease that has
+// already expired (or was never granted under this token) is a success —
+// the bucket is back in the pool either way.
 func (ls *LockServer) AbandonBucket(args ReleaseArgs, reply *Ack) error {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
-	holder, ok := ls.leases[args.Bucket]
+	ls.expireLocked()
+	l, ok := ls.leases[args.Bucket]
 	if !ok {
+		if args.Token != 0 {
+			return nil // expired and already abandoned server-side
+		}
 		return fmt.Errorf("dist: abandon of unleased bucket %v", args.Bucket)
 	}
-	if holder != args.Rank {
-		return fmt.Errorf("dist: rank %d abandoning bucket %v leased to rank %d", args.Rank, args.Bucket, holder)
+	if args.Token != 0 && args.Token != l.token {
+		// The bucket has been re-leased; abandoning would kill the new
+		// holder's lease. The zombie's own lease is already gone.
+		return nil
+	}
+	if args.Token == 0 && l.rank != args.Rank {
+		return fmt.Errorf("dist: rank %d abandoning bucket %v leased to rank %d", args.Rank, args.Bucket, l.rank)
 	}
 	delete(ls.leases, args.Bucket)
+	ls.leasesHeld.Set(int64(len(ls.leases)))
 	ls.sched.Abandon(args.Bucket)
+	return nil
+}
+
+// EpochState snapshots epoch progress for checkpointing: the current epoch,
+// the buckets completed so far in it, and the number of outstanding leases.
+func (ls *LockServer) EpochState(args EpochStateArgs, reply *EpochStateReply) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.expireLocked()
+	reply.Epoch = ls.epoch
+	reply.Done = ls.sched.DoneBuckets()
+	reply.Leases = len(ls.leases)
 	return nil
 }

@@ -2,12 +2,12 @@ package dist
 
 import (
 	"fmt"
-	"net/rpc"
 	"sync"
 	"time"
 
 	"pbg/internal/graph"
 	"pbg/internal/obs"
+	"pbg/internal/partition"
 	"pbg/internal/train"
 )
 
@@ -41,6 +41,16 @@ type NodeConfig struct {
 	// InitScale scales lazy shard initialisation on the partition servers;
 	// all trainers must agree. Default 1.
 	InitScale float32
+	// Retry bounds the node's RPC patience (timeouts, attempts, backoff); the
+	// zero value uses the RetryPolicy defaults.
+	Retry RetryPolicy
+	// Chaos, when non-nil, injects deterministic faults into this node's RPC
+	// traffic (tests only). The node's chaos identity is "rank<Rank>".
+	Chaos *Chaos
+	// EpochBase offsets the node's local epoch counter, for joining a
+	// deployment resumed from a checkpoint: the node's first RunEpoch trains
+	// lock-server epoch EpochBase+1.
+	EpochBase int
 }
 
 // NodeStats is one trainer's contribution to an epoch.
@@ -73,6 +83,11 @@ type EpochStats struct {
 	// (AcquireBucket round trips plus polls while no disjoint bucket was
 	// free) — contention on the lock server shows up here, not in IOWait.
 	LeaseWait time.Duration
+	// Failed lists the ranks whose node died during the epoch. Only a
+	// fault-tolerant cluster (LeaseTTL > 0) reports partial epochs; the
+	// surviving ranks retrained the dead ranks' re-leased buckets, so
+	// Buckets still counts every bucket exactly once.
+	Failed []int
 }
 
 // Summary renders the distributed epoch in the same one-line format
@@ -103,18 +118,28 @@ type Node struct {
 	cfg     NodeConfig
 	trainer *train.Trainer
 	store   *remoteStore
-	lock    *rpc.Client
-	params  []*rpc.Client
+	lock    *retryClient
+	params  []*retryClient
 
 	epoch int // local epoch counter; must track StartEpoch calls
 
 	// obs is cfg.Train.Obs or a private quiet hub; the handles below are
 	// its registry's lease/sync metrics (the store and trainer register
 	// their own).
-	obs       *obs.Hub
-	leaseWait *obs.Counter
-	acquireNs *obs.Histogram
-	syncLag   *obs.Gauge
+	obs        *obs.Hub
+	leaseWait  *obs.Counter
+	acquireNs  *obs.Histogram
+	syncLag    *obs.Gauge
+	leasesLost *obs.Counter
+
+	// hbLease is the bucket lease the heartbeat goroutine currently renews
+	// (nil when the node holds none or the lease has no TTL); hbKick wakes
+	// the goroutine when the lease changes.
+	hbMu      sync.Mutex
+	hbLease   *heldLease
+	hbKick    chan struct{}
+	hbDone    chan struct{}
+	hbStarted bool
 
 	// syncMu serialises parameter syncs (ticker goroutine vs. the forced
 	// end-of-epoch sync). lastSync[r] is the global block at the previous
@@ -140,11 +165,21 @@ func NewNode(g *graph.Graph, cfg NodeConfig) (*Node, error) {
 	if cfg.SyncInterval <= 0 {
 		cfg.SyncInterval = defaultSyncInterval
 	}
-	store, err := dialStore(g.Schema, cfg.Train.Dim, cfg.InitScale, false, cfg.PartitionAddrs)
+	tag := fmt.Sprintf("rank%d", cfg.Rank)
+	store, err := dialStore(g.Schema, cfg.Train.Dim, cfg.InitScale, false, cfg.PartitionAddrs,
+		storeOpts{policy: cfg.Retry, chaos: cfg.Chaos, tag: tag})
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{cfg: cfg, store: store, stop: make(chan struct{}), syncDone: make(chan struct{})}
+	n := &Node{
+		cfg:      cfg,
+		store:    store,
+		epoch:    cfg.EpochBase,
+		stop:     make(chan struct{}),
+		syncDone: make(chan struct{}),
+		hbKick:   make(chan struct{}, 1),
+		hbDone:   make(chan struct{}),
+	}
 	n.obs = cfg.Train.Obs
 	if n.obs == nil {
 		n.obs = obs.NewQuietHub()
@@ -152,19 +187,22 @@ func NewNode(g *graph.Graph, cfg NodeConfig) (*Node, error) {
 	n.leaseWait = n.obs.Reg.Counter("pbg_dist_lease_wait_ns_total")
 	n.acquireNs = n.obs.Reg.Histogram(`pbg_dist_rpc_ns{method="AcquireBucket"}`)
 	n.syncLag = n.obs.Reg.Gauge("pbg_dist_param_sync_lag_ns")
+	n.leasesLost = n.obs.Reg.Counter("pbg_dist_leases_lost_total")
 	fail := func(err error) (*Node, error) {
 		n.Close()
 		return nil, err
 	}
-	n.lock, err = rpc.Dial("tcp", cfg.LockAddr)
+	n.lock, err = dialRetry("lock server", cfg.LockAddr, cfg.Retry, cfg.Chaos, tag)
 	if err != nil {
-		return fail(fmt.Errorf("dist: dial lock server %s: %w", cfg.LockAddr, err))
+		return fail(err)
 	}
+	n.lock.setCounters(n.obs.Reg)
 	for _, addr := range cfg.ParamAddrs {
-		c, err := rpc.Dial("tcp", addr)
+		c, err := dialRetry("param server", addr, cfg.Retry, cfg.Chaos, tag)
 		if err != nil {
-			return fail(fmt.Errorf("dist: dial param server %s: %w", addr, err))
+			return fail(err)
 		}
+		c.setCounters(n.obs.Reg)
 		n.params = append(n.params, c)
 	}
 	n.trainer, err = train.New(g, store, cfg.Train)
@@ -176,7 +214,99 @@ func NewNode(g *graph.Graph, cfg NodeConfig) (*Node, error) {
 	}
 	n.syncStarted = true
 	go n.syncLoop()
+	n.hbStarted = true
+	go n.heartbeatLoop()
 	return n, nil
+}
+
+// heldLease is the node's current fenced bucket lease.
+type heldLease struct {
+	epoch  int
+	bucket partition.Bucket
+	token  uint64
+	ttl    time.Duration
+}
+
+// setLease points the heartbeat goroutine at a newly granted lease (ttl > 0)
+// and stamps the store's fence token.
+func (n *Node) setLease(l *heldLease) {
+	n.store.SetFenceToken(l.token)
+	if l.ttl <= 0 {
+		return // eternal lease: nothing to renew
+	}
+	n.hbMu.Lock()
+	n.hbLease = l
+	n.hbMu.Unlock()
+	select {
+	case n.hbKick <- struct{}{}:
+	default:
+	}
+}
+
+// clearLease stops heartbeats for the lease holding token (a newer lease, if
+// one was set concurrently, is left alone) and clears the store fence.
+func (n *Node) clearLease(token uint64) {
+	n.store.SetFenceToken(0)
+	n.hbMu.Lock()
+	if n.hbLease != nil && n.hbLease.token == token {
+		n.hbLease = nil
+	}
+	n.hbMu.Unlock()
+	select {
+	case n.hbKick <- struct{}{}:
+	default:
+	}
+}
+
+// heartbeatLoop renews the current lease at TTL/3 so a healthy trainer never
+// expires, however long its bucket takes to train. A stale-lease rejection
+// just detaches the heartbeat; the training goroutine discovers the loss
+// through fencing (or its own release attempt) and handles it there.
+func (n *Node) heartbeatLoop() {
+	defer close(n.hbDone)
+	for {
+		n.hbMu.Lock()
+		l := n.hbLease
+		n.hbMu.Unlock()
+		if l == nil {
+			select {
+			case <-n.stop:
+				return
+			case <-n.hbKick:
+			}
+			continue
+		}
+		interval := l.ttl / 3
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		timer := time.NewTimer(interval)
+		select {
+		case <-n.stop:
+			timer.Stop()
+			return
+		case <-n.hbKick:
+			timer.Stop()
+			continue // lease changed; re-read it
+		case <-timer.C:
+		}
+		n.hbMu.Lock()
+		cur := n.hbLease
+		n.hbMu.Unlock()
+		if cur == nil || cur.token != l.token {
+			continue
+		}
+		var ack Ack
+		err := n.lock.Call("LockServer.Heartbeat",
+			HeartbeatArgs{Epoch: cur.epoch, Rank: n.cfg.Rank, Bucket: cur.bucket, Token: cur.token}, &ack)
+		if err != nil && IsStaleLease(err) {
+			n.hbMu.Lock()
+			if n.hbLease != nil && n.hbLease.token == cur.token {
+				n.hbLease = nil
+			}
+			n.hbMu.Unlock()
+		}
+	}
 }
 
 // Trainer exposes the node's local trainer (scorers, relation parameters,
@@ -186,7 +316,7 @@ func (n *Node) Trainer() *train.Trainer { return n.trainer }
 // Rank returns the node's rank.
 func (n *Node) Rank() int { return n.cfg.Rank }
 
-func (n *Node) paramClient(rel int) *rpc.Client {
+func (n *Node) paramClient(rel int) *retryClient {
 	return n.params[rel%len(n.params)]
 }
 
@@ -327,27 +457,55 @@ func (n *Node) RunEpoch() (EpochStats, error) {
 			break
 		}
 		if !rep.Granted {
-			time.Sleep(acquirePoll)
-			n.leaseWait.Add(acquirePoll.Nanoseconds())
+			// Honour the lock server's backoff hint instead of busy-polling.
+			d := rep.RetryAfter
+			if d <= 0 {
+				d = acquirePoll
+			}
+			time.Sleep(d)
+			n.leaseWait.Add(d.Nanoseconds())
 			continue
 		}
 		b := rep.Bucket
+		n.setLease(&heldLease{epoch: n.epoch, bucket: b, token: rep.Token, ttl: rep.TTL})
 		loss, edges, err := n.trainer.TrainBucket(b)
 		if err != nil {
-			// Return the lease so another trainer can take the bucket over.
+			if IsFenced(err) {
+				// The lease expired mid-bucket and the bucket was (or will
+				// be) re-leased; the partial work is discarded and the node
+				// keeps going — losing a lease is not a node failure.
+				n.leasesLost.Inc()
+				n.clearLease(rep.Token)
+				continue
+			}
+			// A real training failure: return the lease so another trainer
+			// can take the bucket over, then surface the error.
 			var ack Ack
-			_ = n.lock.Call("LockServer.AbandonBucket", ReleaseArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Bucket: b}, &ack)
+			_ = n.lock.Call("LockServer.AbandonBucket",
+				ReleaseArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Bucket: b, Token: rep.Token}, &ack)
+			n.clearLease(rep.Token)
 			finish(&st)
 			return st, err
 		}
+		var ack Ack
+		err = n.lock.Call("LockServer.ReleaseBucket",
+			ReleaseArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Bucket: b, Token: rep.Token}, &ack)
+		n.clearLease(rep.Token)
+		if err != nil {
+			if IsStaleLease(err) {
+				// Trained the whole bucket but the lease had already expired:
+				// the commit is void (another trainer owns the bucket now).
+				n.leasesLost.Inc()
+				continue
+			}
+			finish(&st)
+			return st, err
+		}
+		// Stats count only after the release lands: a bucket whose lease was
+		// lost will be retrained (and counted) by whoever re-leases it.
 		st.Loss += loss
 		st.Edges += edges
 		st.Buckets++
-		var ack Ack
-		if err := n.lock.Call("LockServer.ReleaseBucket", ReleaseArgs{Epoch: n.epoch, Rank: n.cfg.Rank, Bucket: b}, &ack); err != nil {
-			finish(&st)
-			return st, err
-		}
 		held = b.Parts()
 	}
 	if err := n.SyncParams(); err != nil {
@@ -371,6 +529,9 @@ func (n *Node) Close() error {
 		close(n.stop)
 		if n.syncStarted {
 			<-n.syncDone
+		}
+		if n.hbStarted {
+			<-n.hbDone
 		}
 		if n.store != nil {
 			first = n.store.Close()

@@ -25,6 +25,17 @@ func NewParamServer() *ParamServer {
 	return &ParamServer{params: make(map[int][]float32), versions: make(map[int]int64)}
 }
 
+// restore seeds the server with checkpointed relation blocks before any
+// trainer connects; InitRel's first-writer-wins rule then makes every
+// trainer adopt the restored values instead of fresh initialisation.
+func (s *ParamServer) restore(blocks []RelBlock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range blocks {
+		s.params[b.Rel] = append([]float32(nil), b.Params...)
+	}
+}
+
 // InitRel publishes a relation's initial parameters. The first caller's
 // block becomes canonical; everyone receives it back, so all trainers start
 // identically even if their local initialisation differs.

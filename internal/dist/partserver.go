@@ -1,10 +1,13 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"sync"
 
 	"pbg/internal/graph"
+	"pbg/internal/obs"
 	"pbg/internal/rng"
 	"pbg/internal/storage"
 )
@@ -18,6 +21,18 @@ import (
 // Shards are created lazily with the same deterministic per-shard seeding as
 // storage stores, so a partition first touched by any trainer — or never
 // written back at all — still has well-defined contents.
+//
+// Fencing: each shard remembers the highest lease token that has read or
+// written it. A write carrying an older token is rejected — the writer's
+// bucket lease expired and was re-granted, so its state is stale. Token 0
+// (single-machine stores, read-only evaluation snapshots) bypasses reads but
+// may write only while a shard is still unfenced.
+//
+// Durability: with WithDurableDir, accepted writes are persisted to disk by
+// a write-behind goroutine (latest version wins; Flush drains the queue),
+// and a restarted server reloads shards from the directory instead of
+// re-initialising them, so a partition server crash costs at most the
+// not-yet-flushed tail rather than an epoch of embeddings.
 type PartitionServer struct {
 	schema *graph.Schema
 	dim    int
@@ -26,29 +41,76 @@ type PartitionServer struct {
 	// Storage is striped to keep concurrent Get/Put/Swap from different
 	// trainers from serialising on one mutex.
 	stripes []partStripe
+
+	durable *durableState
+
+	fencedRejects *obs.Counter
+	durableWrites *obs.Counter
 }
 
 type partStripe struct {
 	mu     sync.Mutex
 	shards map[partKey]*storage.Shard
+	fence  map[partKey]uint64
 }
 
 type partKey struct{ t, p int }
+
+// PartOption configures a PartitionServer at construction (options rather
+// than setter methods: net/rpc registration warns about exported methods
+// that do not match the RPC signature).
+type PartOption func(*PartitionServer)
+
+// WithDurableDir makes the server write shards through to dir (write-behind)
+// and restore them from it on startup. The directory uses the same on-disk
+// shard format and naming as storage.DiskStore.
+func WithDurableDir(dir string) PartOption {
+	return func(ps *PartitionServer) {
+		if dir == "" {
+			return
+		}
+		ps.durable = newDurableState(dir)
+	}
+}
+
+// WithPartObs publishes the server's fencing/durability metrics on h's
+// registry instead of a private quiet hub.
+func WithPartObs(h *obs.Hub) PartOption {
+	return func(ps *PartitionServer) {
+		if h == nil {
+			return
+		}
+		ps.bindMetrics(h.Reg)
+	}
+}
 
 // NewPartitionServer creates a server for the given schema and embedding
 // dimension. seed drives lazy shard initialisation (it must match across the
 // deployment's partition servers and the single-machine baseline for
 // reproducible starts). shards is the number of internal lock stripes;
 // values below 1 mean 1.
-func NewPartitionServer(schema *graph.Schema, dim int, seed uint64, shards int) *PartitionServer {
+func NewPartitionServer(schema *graph.Schema, dim int, seed uint64, shards int, opts ...PartOption) *PartitionServer {
 	if shards < 1 {
 		shards = 1
 	}
 	ps := &PartitionServer{schema: schema, dim: dim, seed: seed, stripes: make([]partStripe, shards)}
 	for i := range ps.stripes {
 		ps.stripes[i].shards = make(map[partKey]*storage.Shard)
+		ps.stripes[i].fence = make(map[partKey]uint64)
+	}
+	ps.bindMetrics(obs.NewQuietHub().Reg)
+	for _, opt := range opts {
+		opt(ps)
+	}
+	if ps.durable != nil {
+		go ps.durable.run(ps)
 	}
 	return ps
+}
+
+func (ps *PartitionServer) bindMetrics(reg *obs.Registry) {
+	ps.fencedRejects = reg.Counter(`pbg_dist_fenced_rejects_total{server="partition"}`)
+	ps.durableWrites = reg.Counter("pbg_dist_durable_writes_total")
 }
 
 func (ps *PartitionServer) stripe(k partKey) *partStripe {
@@ -69,25 +131,43 @@ func (ps *PartitionServer) checkKey(t, p, dim int) error {
 	return nil
 }
 
-// loadLocked returns the shard for k, initialising it deterministically on
+// loadLocked returns the shard for k, restoring it from the durable
+// directory if one exists there, else initialising it deterministically on
 // first touch. The stripe mutex must be held.
-func (ps *PartitionServer) loadLocked(st *partStripe, k partKey, scale float32) *storage.Shard {
+func (ps *PartitionServer) loadLocked(st *partStripe, k partKey, scale float32) (*storage.Shard, error) {
 	if sh, ok := st.shards[k]; ok {
-		return sh
+		return sh, nil
 	}
 	if scale == 0 {
 		scale = 1
 	}
 	e := ps.schema.Entities[k.t]
-	sh := storage.NewShard(k.t, k.p, e.PartitionCount(k.p), ps.dim)
+	want := e.PartitionCount(k.p)
+	if ps.durable != nil {
+		sh, err := storage.ReadShard(storage.ShardPath(ps.durable.dir, k.t, k.p))
+		switch {
+		case err == nil:
+			if sh.Count != want || sh.Dim != ps.dim {
+				return nil, fmt.Errorf("dist: durable shard (%d,%d) is %d×%d, schema wants %d×%d",
+					k.t, k.p, sh.Count, sh.Dim, want, ps.dim)
+			}
+			st.shards[k] = sh
+			return sh, nil
+		case !errors.Is(err, fs.ErrNotExist):
+			return nil, err
+		}
+	}
+	sh := storage.NewShard(k.t, k.p, want, ps.dim)
 	// Shared seed derivation, so a fresh distributed run starts from the
 	// same embeddings as a MemStore with the same seed.
 	sh.Init(rng.New(storage.ShardSeed(ps.seed, k.t, k.p)), scale)
 	st.shards[k] = sh
-	return sh
+	return sh, nil
 }
 
-// Get fetches one shard, lazily initialising it on first touch.
+// Get fetches one shard, lazily initialising it on first touch. A non-zero
+// token advances the shard's fence; a token the fence has already passed is
+// rejected, so a trainer whose lease was superseded fails before training.
 func (ps *PartitionServer) Get(args GetArgs, reply *ShardReply) error {
 	if err := ps.checkKey(args.TypeIndex, args.Part, args.Dim); err != nil {
 		return err
@@ -99,13 +179,28 @@ func (ps *PartitionServer) Get(args GetArgs, reply *ShardReply) error {
 	k := partKey{args.TypeIndex, args.Part}
 	st := ps.stripe(k)
 	st.mu.Lock()
-	sh := ps.loadLocked(st, k, args.InitScale)
+	if args.Token != 0 {
+		if args.Token < st.fence[k] {
+			st.mu.Unlock()
+			ps.fencedRejects.Inc()
+			return fmt.Errorf("%s: get of shard (%d,%d) under token %d, fence at %d",
+				fencedWriteMsg, k.t, k.p, args.Token, st.fence[k])
+		}
+		st.fence[k] = args.Token
+	}
+	sh, err := ps.loadLocked(st, k, args.InitScale)
 	st.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	reply.Shard = payloadFromShard(sh)
 	return nil
 }
 
-// Put stores a shard back, replacing the server copy.
+// Put stores a shard back, replacing the server copy. The write is fenced:
+// a token older than the shard's fence — or a token-0 write to a shard some
+// lease has fenced — is rejected, so a zombie trainer whose bucket was
+// re-leased can never overwrite the new holder's state.
 func (ps *PartitionServer) Put(args PutArgs, reply *Ack) error {
 	if args.Shard == nil {
 		return fmt.Errorf("dist: Put with nil shard")
@@ -121,19 +216,163 @@ func (ps *PartitionServer) Put(args PutArgs, reply *Ack) error {
 	k := partKey{sh.TypeIndex, sh.Part}
 	st := ps.stripe(k)
 	st.mu.Lock()
+	if fence := st.fence[k]; args.Token < fence {
+		st.mu.Unlock()
+		ps.fencedRejects.Inc()
+		return fmt.Errorf("%s: put of shard (%d,%d) under token %d, fence at %d",
+			fencedWriteMsg, k.t, k.p, args.Token, fence)
+	}
+	if args.Token != 0 {
+		st.fence[k] = args.Token
+	}
 	st.shards[k] = sh
 	st.mu.Unlock()
+	if ps.durable != nil {
+		ps.durable.enqueue(k)
+	}
 	return nil
 }
 
 // Swap writes one shard back and fetches another in a single round trip —
 // the partition exchange a trainer performs between consecutive buckets.
+// Token fences the Put half; the Get half carries its own token.
 func (ps *PartitionServer) Swap(args SwapArgs, reply *ShardReply) error {
 	if args.Put != nil {
 		var ack Ack
-		if err := ps.Put(PutArgs{Shard: args.Put}, &ack); err != nil {
+		if err := ps.Put(PutArgs{Shard: args.Put, Token: args.Token}, &ack); err != nil {
 			return err
 		}
 	}
 	return ps.Get(args.Get, reply)
+}
+
+// Flush drains the durable write-behind queue, so every write accepted
+// before the call is on disk when it returns. A no-op for memory-only
+// servers.
+func (ps *PartitionServer) Flush(args FlushArgs, reply *Ack) error {
+	return ps.flushDurable()
+}
+
+// flushDurable is the in-process form of Flush, used by Cluster checkpoints.
+func (ps *PartitionServer) flushDurable() error {
+	if ps.durable == nil {
+		return nil
+	}
+	return ps.durable.flush()
+}
+
+// closeDurable stops the write-behind goroutine after draining its queue.
+func (ps *PartitionServer) closeDurable() error {
+	if ps.durable == nil {
+		return nil
+	}
+	return ps.durable.close()
+}
+
+// durableState is the write-behind machinery of a durable PartitionServer:
+// Put marks the shard key dirty and a single goroutine persists the latest
+// version of each dirty shard in FIFO key order. Re-dirtying a queued key is
+// free (latest wins — the writer re-reads the live shard at write time), so
+// a hot shard costs one disk write per drain, not one per Put.
+type durableState struct {
+	dir string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	dirty    map[partKey]bool
+	queue    []partKey
+	inFlight bool
+	err      error // first write error, sticky — surfaced by flush
+	closed   bool
+	done     chan struct{}
+}
+
+func newDurableState(dir string) *durableState {
+	d := &durableState{
+		dir:   dir,
+		dirty: make(map[partKey]bool),
+		done:  make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+func (d *durableState) enqueue(k partKey) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || d.dirty[k] {
+		return
+	}
+	d.dirty[k] = true
+	d.queue = append(d.queue, k)
+	d.cond.Broadcast()
+}
+
+// run is the write-behind loop; it exits when close drains the queue.
+func (d *durableState) run(ps *PartitionServer) {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.closed {
+			d.cond.Wait()
+		}
+		if len(d.queue) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		k := d.queue[0]
+		d.queue = d.queue[1:]
+		delete(d.dirty, k)
+		d.inFlight = true
+		d.mu.Unlock()
+
+		// Re-read the live shard now, so the write always persists the most
+		// recent accepted version.
+		st := ps.stripe(k)
+		st.mu.Lock()
+		sh := st.shards[k]
+		st.mu.Unlock()
+		var err error
+		if sh != nil {
+			err = storage.WriteShard(storage.ShardPath(d.dir, k.t, k.p), sh)
+			if err == nil {
+				ps.durableWrites.Inc()
+			}
+		}
+
+		d.mu.Lock()
+		d.inFlight = false
+		if err != nil && d.err == nil {
+			d.err = err
+		}
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}
+}
+
+// flush blocks until the queue is drained, returning the first write error
+// seen so far (checkpoints must not report success over a failed write).
+func (d *durableState) flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.queue) > 0 || d.inFlight {
+		d.cond.Wait()
+	}
+	return d.err
+}
+
+func (d *durableState) close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		<-d.done
+		return d.err
+	}
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	<-d.done
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
 }

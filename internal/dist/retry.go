@@ -1,0 +1,237 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"pbg/internal/obs"
+	"pbg/internal/rng"
+)
+
+// errCallTimeout marks an RPC call that exceeded RetryPolicy.CallTimeout.
+// The underlying connection is torn down (the reply may still arrive and
+// would otherwise desynchronise the stream), so the error is transient: the
+// next attempt redials.
+var errCallTimeout = errors.New("dist: rpc call timeout")
+
+// RetryPolicy bounds a retryClient's patience. The zero value means "use
+// defaults" — every field is defaulted independently, so tests can shorten
+// just the knob they care about.
+type RetryPolicy struct {
+	// DialTimeout caps each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout caps each individual RPC attempt (default 60s — partition
+	// swaps move multi-megabyte shards, so this is deliberately generous).
+	CallTimeout time.Duration
+	// MaxAttempts is the total number of tries per Call, first included
+	// (default 4). Only transient failures are retried.
+	MaxAttempts int
+	// BaseBackoff is the sleep before the second attempt; it doubles per
+	// retry up to MaxBackoff, with jitter in [½,1]× (defaults 5ms / 500ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 5 * time.Second
+	}
+	if p.CallTimeout <= 0 {
+		p.CallTimeout = 60 * time.Second
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	return p
+}
+
+// retryClient wraps one *rpc.Client with connect/call timeouts, bounded
+// exponential backoff with jitter, and reconnect-on-broken-pipe, so a
+// restarted server or a dropped packet costs a retry instead of a hung or
+// failed epoch. Server-side errors (rpc.ServerError, e.g. a fencing
+// rejection) pass through untouched on the first attempt — only transport
+// failures are retried. All methods are safe for concurrent use; net/rpc
+// multiplexes concurrent calls on the shared connection.
+type retryClient struct {
+	addr   string
+	name   string // human label for errors ("lock server", "partition server")
+	tag    string // chaos identity ("rank0", "cluster"); empty = no chaos
+	policy RetryPolicy
+	chaos  *Chaos
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	c      *rpc.Client
+	closed bool
+	jit    *rng.RNG
+
+	retries    *obs.Counter
+	reconnects *obs.Counter
+}
+
+// dialRetry connects to addr with the policy's dial timeout. The returned
+// client lazily redials after transport errors.
+func dialRetry(name, addr string, policy RetryPolicy, chaos *Chaos, tag string) (*retryClient, error) {
+	rc := &retryClient{
+		addr:   addr,
+		name:   name,
+		tag:    tag,
+		policy: policy.withDefaults(),
+		chaos:  chaos,
+		jit:    rng.New(0xC0FFEE ^ uint64(len(addr))<<16 ^ uint64(len(name))),
+	}
+	rc.ctx, rc.cancel = context.WithCancel(context.Background())
+	rc.setCounters(obs.NewQuietHub().Reg)
+	c, err := rc.dial()
+	if err != nil {
+		return nil, err
+	}
+	rc.c = c
+	return rc, nil
+}
+
+// setCounters (re)binds the retry/reconnect counters, so remoteStore.SetObs
+// can move an already-dialed client onto the run's registry.
+func (rc *retryClient) setCounters(reg *obs.Registry) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.retries = reg.Counter("pbg_dist_rpc_retries_total")
+	rc.reconnects = reg.Counter("pbg_dist_rpc_reconnects_total")
+}
+
+func (rc *retryClient) dial() (*rpc.Client, error) {
+	conn, err := net.DialTimeout("tcp", rc.addr, rc.policy.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dist: dial %s %s: %w", rc.name, rc.addr, err)
+	}
+	return rpc.NewClient(conn), nil
+}
+
+// client returns the live connection, redialing if a previous attempt tore
+// it down.
+func (rc *retryClient) client() (*rpc.Client, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return nil, rpc.ErrShutdown
+	}
+	if rc.c == nil {
+		c, err := rc.dial()
+		if err != nil {
+			return nil, err
+		}
+		rc.c = c
+		rc.reconnects.Inc()
+	}
+	return rc.c, nil
+}
+
+// dropConn discards the connection that produced a transport error, so the
+// next attempt redials. Only the connection that failed is dropped — a
+// concurrent caller may already have replaced it.
+func (rc *retryClient) dropConn(c *rpc.Client) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.c == c {
+		rc.c = nil
+	}
+	c.Close()
+}
+
+// callOnce performs a single attempt with the per-call timeout, applying any
+// chaos rule for this client's tag first.
+func (rc *retryClient) callOnce(method string, args, reply any) error {
+	if rc.chaos != nil {
+		if err := rc.chaos.before(rc.tag, method); err != nil {
+			return err
+		}
+	}
+	c, err := rc.client()
+	if err != nil {
+		return err
+	}
+	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(rc.policy.CallTimeout)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		if call.Error != nil && isTransientRPC(call.Error) {
+			rc.dropConn(c)
+		}
+		if call.Error == nil && rc.chaos != nil {
+			if err := rc.chaos.after(rc.tag, method, func() error {
+				return c.Call(method, args, reply)
+			}); err != nil {
+				return err
+			}
+		}
+		return call.Error
+	case <-timer.C:
+		rc.dropConn(c) // the late reply would desynchronise the stream
+		return fmt.Errorf("%w: %s %s after %v", errCallTimeout, rc.name, method, rc.policy.CallTimeout)
+	case <-rc.ctx.Done():
+		return rpc.ErrShutdown
+	}
+}
+
+// Call invokes method with retries: transient transport failures back off
+// exponentially (with jitter) and redial; server-returned errors and
+// non-transient failures are returned immediately.
+func (rc *retryClient) Call(method string, args, reply any) error {
+	policy := rc.policy
+	backoff := policy.BaseBackoff
+	var err error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			rc.retries.Inc()
+			d := backoff/2 + time.Duration(rc.jitterFloat()*float64(backoff/2))
+			select {
+			case <-time.After(d):
+			case <-rc.ctx.Done():
+				return rpc.ErrShutdown
+			}
+			backoff *= 2
+			if backoff > policy.MaxBackoff {
+				backoff = policy.MaxBackoff
+			}
+		}
+		err = rc.callOnce(method, args, reply)
+		if err == nil || !isTransientRPC(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("dist: %s %s failed after %d attempts: %w", rc.name, method, policy.MaxAttempts, err)
+}
+
+func (rc *retryClient) jitterFloat() float64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.jit.Float64()
+}
+
+// Close shuts the client down; in-flight Calls return rpc.ErrShutdown.
+func (rc *retryClient) Close() error {
+	rc.cancel()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.closed = true
+	if rc.c != nil {
+		err := rc.c.Close()
+		rc.c = nil
+		return err
+	}
+	return nil
+}

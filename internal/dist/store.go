@@ -2,7 +2,6 @@ package dist
 
 import (
 	"fmt"
-	"net/rpc"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,7 +54,13 @@ type remoteStore struct {
 	dim       int
 	initScale float32
 	readonly  bool
-	clients   []*rpc.Client
+	clients   []*retryClient
+
+	// fenceTok is the fencing token of the node's current bucket lease,
+	// stamped on every Get/Put so the partition servers can reject writes
+	// from a superseded lease. 0 (eval stores, single-trainer runs without a
+	// TTL) bypasses fencing.
+	fenceTok atomic.Uint64
 
 	mu    sync.Mutex
 	cache map[partKey]*storeEntry
@@ -98,9 +103,17 @@ type storeEntry struct {
 	err   error
 }
 
+// storeOpts carries the resilience knobs a store's partition-server clients
+// are built with.
+type storeOpts struct {
+	policy RetryPolicy
+	chaos  *Chaos
+	tag    string // chaos identity of the owning node
+}
+
 // dialStore connects to every partition server and returns a store over
 // them. The store owns the connections; Close hangs them up.
-func dialStore(schema *graph.Schema, dim int, initScale float32, readonly bool, addrs []string) (*remoteStore, error) {
+func dialStore(schema *graph.Schema, dim int, initScale float32, readonly bool, addrs []string, o storeOpts) (*remoteStore, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("dist: no partition servers")
 	}
@@ -117,18 +130,24 @@ func dialStore(schema *graph.Schema, dim int, initScale float32, readonly bool, 
 	}
 	s.m = newDistStoreMetrics(s.obs.Reg)
 	for _, addr := range addrs {
-		c, err := rpc.Dial("tcp", addr)
+		c, err := dialRetry("partition server", addr, o.policy, o.chaos, o.tag)
 		if err != nil {
 			s.Close()
-			return nil, fmt.Errorf("dist: dial partition server %s: %w", addr, err)
+			return nil, err
 		}
 		s.clients = append(s.clients, c)
 	}
 	return s, nil
 }
 
-func (s *remoteStore) client(t, p int) *rpc.Client {
+func (s *remoteStore) client(t, p int) *retryClient {
 	return s.clients[serverIndex(t, p, len(s.clients))]
+}
+
+// SetFenceToken sets the lease token stamped on subsequent partition-server
+// reads and writes (0 = unfenced). The node updates it at every lease grant.
+func (s *remoteStore) SetFenceToken(tok uint64) {
+	s.fenceTok.Store(tok)
 }
 
 // SetObs rebinds the store's metrics onto h's shared registry; call once,
@@ -140,6 +159,9 @@ func (s *remoteStore) SetObs(h *obs.Hub) {
 	}
 	s.obs = h
 	s.m = newDistStoreMetrics(h.Reg)
+	for _, c := range s.clients {
+		c.setCounters(h.Reg)
+	}
 }
 
 // IOStats reports cumulative checkout-cache activity in DiskStore's IOStats
@@ -218,6 +240,7 @@ func (s *remoteStore) get(t, p int) (*storage.Shard, error) {
 		Count:     s.schema.Entities[t].PartitionCount(p),
 		Dim:       s.dim,
 		InitScale: s.initScale,
+		Token:     s.fenceTok.Load(),
 	}
 	sp := s.obs.Trace.Start("dist", fmt.Sprintf("get t%d p%d", t, p))
 	t0 := time.Now()
@@ -356,7 +379,7 @@ func (s *remoteStore) Release(t, p int) error {
 	var ack Ack
 	sp := s.obs.Trace.Start("dist", fmt.Sprintf("put t%d p%d", t, p))
 	t0 := time.Now()
-	err := s.client(t, p).Call("PartitionServer.Put", PutArgs{Shard: payloadFromShard(e.shard)}, &ack)
+	err := s.client(t, p).Call("PartitionServer.Put", PutArgs{Shard: payloadFromShard(e.shard), Token: s.fenceTok.Load()}, &ack)
 	s.m.putNs.Observe(float64(time.Since(t0).Nanoseconds()))
 	sp.End()
 	if err != nil {
@@ -383,7 +406,7 @@ func (s *remoteStore) Flush() error {
 	s.mu.Unlock()
 	for _, sh := range shards {
 		var ack Ack
-		if err := s.client(sh.TypeIndex, sh.Part).Call("PartitionServer.Put", PutArgs{Shard: payloadFromShard(sh)}, &ack); err != nil {
+		if err := s.client(sh.TypeIndex, sh.Part).Call("PartitionServer.Put", PutArgs{Shard: payloadFromShard(sh), Token: s.fenceTok.Load()}, &ack); err != nil {
 			return err
 		}
 	}

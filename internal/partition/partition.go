@@ -309,6 +309,32 @@ func (s *Scheduler) Release(b Bucket) {
 	s.initialized[b.P2] = true
 }
 
+// MarkDone records b as already completed this epoch without it ever having
+// been leased — used when restoring a scheduler from a checkpoint cut. Its
+// partitions count as initialised and established.
+func (s *Scheduler) MarkDone(b Bucket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done[b] = true
+	s.initialized[b.P1] = true
+	s.initialized[b.P2] = true
+	s.anyStarted = true
+}
+
+// DoneBuckets lists the buckets completed this epoch, in order position, so
+// checkpoint manifests are deterministic.
+func (s *Scheduler) DoneBuckets() []Bucket {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Bucket
+	for _, b := range s.order {
+		if s.done[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // Abandon returns a leased bucket to the pending pool without marking it
 // done (e.g. a worker died); its partitions are NOT marked initialised.
 func (s *Scheduler) Abandon(b Bucket) {

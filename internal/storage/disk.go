@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
 
 	"pbg/internal/graph"
@@ -229,7 +228,7 @@ func (d *DiskStore) MaxResidentBytes() int64 {
 }
 
 func (d *DiskStore) path(t, p int) string {
-	return filepath.Join(d.dir, fmt.Sprintf("shard_t%d_p%d.pbg", t, p))
+	return ShardPath(d.dir, t, p)
 }
 
 // shardBytes is the exact in-memory size shard (t,p) will have once loaded,

@@ -40,6 +40,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -177,6 +178,13 @@ func writeFileAtomic(path string, emit func(w *bufio.Writer) error) error {
 		return err
 	}
 	return nil
+}
+
+// ShardPath is the canonical on-disk location of shard (t, p) under dir.
+// DiskStore and the durable partition servers share it, so a directory
+// written by one is readable by the other.
+func ShardPath(dir string, t, p int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard_t%d_p%d.pbg", t, p))
 }
 
 // WriteShard persists a shard to path atomically (write temp + rename).
