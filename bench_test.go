@@ -257,6 +257,21 @@ func BenchmarkAblationComplExPartitioning(b *testing.B) {
 	}
 }
 
+// BenchmarkServeSweep load-tests the serving layer (exact vs IVF vs rpc
+// top-K) in short mode, reporting QPS and measured recall@10.
+func BenchmarkServeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.ServeSweep(bench.SmallScale, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportRows(b, rep, "QPS")
+			reportRows(b, rep, "recall@10")
+		}
+	}
+}
+
 // BenchmarkAblationStratum probes the §4.1 stratified sub-epoch option.
 func BenchmarkAblationStratum(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -20,8 +20,9 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id: all, table1, table2, table3, table4, figure1, figure4, figure5, figure6, figure7, ordering, ablations")
+	expFlag := flag.String("exp", "all", "experiment id: all, table1, table2, table3, table4, figure1, figure4, figure5, figure6, figure7, ordering, ablations, serve")
 	scaleFlag := flag.String("scale", "small", "small or medium")
+	shortFlag := flag.Bool("short", false, "CI-sized runs where an experiment supports it (currently: serve)")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -115,6 +116,10 @@ func main() {
 		report(rep, []string{"MRR-mean", "MRR-std"}, err)
 		rep, err = bench.AblationStratum(scale)
 		report(rep, []string{"MRR-after-1-epoch", "IO/epoch"}, err)
+	}
+	if all || want["serve"] {
+		rep, err := bench.ServeSweep(scale, *shortFlag)
+		report(rep, []string{"QPS", "p99_ms", "recall@10", "rows/query"}, err)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *expFlag)

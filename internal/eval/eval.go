@@ -172,8 +172,8 @@ func (rk *Ranker) Evaluate(test *graph.EdgeList, cfg Config) (Metrics, error) {
 // rankSide ranks the true endpoint among candidates on one side.
 // corruptSource false: candidates replace d; true: candidates replace s.
 //
-// Ties are handled with the mid-rank convention: rank = 1 + |{score >
-// true}| + |{score = true}|/2. The optimistic rank (counting only strict
+// Ties are handled with the mid-rank convention of MidRank (rank.go),
+// shared with the serving layer. The optimistic rank (counting only strict
 // wins) silently inflated the metrics — a degenerate scorer emitting one
 // constant value tied every candidate and walked away with a perfect
 // MRR/Hits@1, when its true ranking power is chance. Under mid-rank that
@@ -257,16 +257,7 @@ func (rk *Ranker) rankSide(r *rng.RNG, cfg Config, aliasFor func(int) (*rng.Alia
 	} else {
 		sc.ScoreMany(scores, srcEmb, params, cand)
 	}
-	greater, equal := 0, 0
-	for _, v := range scores {
-		switch {
-		case v > trueScore:
-			greater++
-		case v == trueScore:
-			equal++
-		}
-	}
-	return 1 + float64(greater) + float64(equal)/2, nil
+	return MidRank(trueScore, scores), nil
 }
 
 // Curve records a learning curve: MRR over epochs with wallclock stamps

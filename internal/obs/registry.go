@@ -194,6 +194,36 @@ type HistogramSnapshot struct {
 	Buckets []int64
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts:
+// the upper bound of the bucket containing the q·Count-th observation.
+// With log-2 buckets the estimate is within 2× of the true value, which is
+// the right resolution for latency reporting (p99 in the serving bench);
+// returns 0 when the histogram is empty and +Inf when the target
+// observation landed in the overflow bucket.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum >= target {
+			return HistBucketBound(i)
+		}
+	}
+	return math.Inf(1)
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry, for
 // tests and end-of-run reporting. Concurrent updates during the copy may
 // be torn across metrics but each individual value is atomic.

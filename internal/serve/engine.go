@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"pbg/internal/eval"
+	"pbg/internal/vec"
+)
+
+// scoreBlock is the candidate chunk width of the exact scan. Candidates are
+// copied block-wise into scratch (comparator Prepare mutates its input; the
+// mmap pages are PROT_READ), so the block bounds both the copy buffer and
+// the score matrix: n queries × scoreBlock floats.
+const scoreBlock = 256
+
+// TopKRequest asks for the K best-scoring destination entities under one
+// relation: argmax_d f(src, rel, d) over every destination-type entity.
+type TopKRequest struct {
+	// Rel is the relation index in the schema.
+	Rel int
+	// SrcID is the global ID of the query (source-side) entity. Ignored
+	// when Vector is set.
+	SrcID int32
+	// Vector, when non-nil, is a raw dim-length query embedding used
+	// instead of a stored row (e.g. an externally computed centroid). It is
+	// transformed through the relation operator like a stored row.
+	Vector []float32
+	// K is the number of neighbours wanted.
+	K int
+	// Exact forces the brute-force scan even when an IVF index is loaded.
+	Exact bool
+	// NProbe overrides the server's probe width for this request
+	// (0 = server default). Ignored in exact mode.
+	NProbe int
+}
+
+// TopKResult holds one request's neighbours, best first. Ties are broken by
+// eval.CompareScored (higher score, then lower ID), so results are
+// deterministic across replicas and read paths.
+type TopKResult struct {
+	IDs    []int32
+	Scores []float32
+	// Scanned counts candidate rows actually scored.
+	Scanned int
+	// Probed counts IVF lists visited (0 on the exact path).
+	Probed int
+}
+
+// ScoreRequest asks for the model score of one (src, rel, dst) edge.
+type ScoreRequest struct {
+	Rel int
+	Src int32
+	Dst int32
+}
+
+// scored is one candidate in a top-K selection.
+type scored struct {
+	id    int32
+	score float32
+}
+
+// after reports whether a ranks after b under the shared eval ordering.
+func after(a, b scored) bool {
+	return eval.CompareScored(b.score, b.id, a.score, a.id)
+}
+
+// topkHeap is a bounded selection heap: it keeps the K best candidates seen,
+// with the worst kept candidate at the root so a beat-the-worst test is one
+// comparison. Ordering is eval.CompareScored throughout.
+type topkHeap struct {
+	k int
+	h []scored
+}
+
+func (t *topkHeap) reset(k int) {
+	t.k = k
+	t.h = t.h[:0]
+}
+
+func (t *topkHeap) push(id int32, score float32) {
+	c := scored{id: id, score: score}
+	if len(t.h) < t.k {
+		t.h = append(t.h, c)
+		// Sift up: keep the worst candidate at the root.
+		i := len(t.h) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !after(t.h[i], t.h[parent]) {
+				break
+			}
+			t.h[i], t.h[parent] = t.h[parent], t.h[i]
+			i = parent
+		}
+		return
+	}
+	if !after(t.h[0], c) {
+		return // c does not beat the current worst
+	}
+	t.h[0] = c
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(t.h) && after(t.h[l], t.h[worst]) {
+			worst = l
+		}
+		if r < len(t.h) && after(t.h[r], t.h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.h[i], t.h[worst] = t.h[worst], t.h[i]
+		i = worst
+	}
+}
+
+// take empties the heap into a best-first result.
+func (t *topkHeap) take(res *TopKResult) {
+	sort.Slice(t.h, func(i, j int) bool {
+		return eval.CompareScored(t.h[i].score, t.h[i].id, t.h[j].score, t.h[j].id)
+	})
+	res.IDs = make([]int32, len(t.h))
+	res.Scores = make([]float32, len(t.h))
+	for i, c := range t.h {
+		res.IDs[i] = c.id
+		res.Scores[i] = c.score
+	}
+}
+
+// workspace is per-call scratch, pooled by the Server so steady-state
+// requests allocate only their result slices.
+type workspace struct {
+	q       vec.Matrix // gathered raw query embeddings
+	tq      vec.Matrix // operator-transformed (then prepared) queries
+	scratch vec.Matrix // candidate block copy (Prepare target)
+	scores  vec.Matrix // n×block cross-score output
+	heaps   []topkHeap
+	probes  []probeCand
+	order   []int // request order within a group
+}
+
+func ensureMat(m *vec.Matrix, rows, cols int) vec.Matrix {
+	if cap(m.Data) < rows*cols {
+		*m = vec.NewMatrix(rows, cols)
+	} else {
+		*m = vec.MatrixFrom(m.Data[:rows*cols], rows, cols)
+	}
+	return *m
+}
+
+// gatherQueries fills ws.q and ws.tq for the group's requests and prepares
+// the transformed queries. Returns the prepared n×dim query matrix.
+func (v *view) gatherQueries(ws *workspace, rel int, srcOf func(i int) (int32, []float32), n int) vec.Matrix {
+	dim := v.ss.dim
+	sc := v.scorers[rel]
+	fwd := v.relFwd[rel]
+	srcType := v.srcType[rel]
+	q := ensureMat(&ws.q, n, dim)
+	for i := 0; i < n; i++ {
+		id, raw := srcOf(i)
+		if raw != nil {
+			copy(q.Row(i), raw)
+		} else {
+			copy(q.Row(i), v.ss.Row(srcType, id))
+		}
+	}
+	tq := ensureMat(&ws.tq, n, dim)
+	for i := 0; i < n; i++ {
+		sc.Op.Apply(tq.Row(i), q.Row(i), fwd)
+	}
+	sc.Cmp.Prepare(tq)
+	return tq
+}
+
+// scoreCandidateBlock copies the given rows into scratch, prepares them, and
+// cross-scores them against the prepared queries tq. ids maps block row j to
+// the candidate's global ID; scores land in the returned n×m matrix.
+func (v *view) scoreCandidateBlock(ws *workspace, rel int, tq vec.Matrix, rows vec.Matrix, lo, m int) vec.Matrix {
+	dim := v.ss.dim
+	sc := v.scorers[rel]
+	scratch := ensureMat(&ws.scratch, m, dim)
+	for j := 0; j < m; j++ {
+		copy(scratch.Row(j), rows.Row(lo+j))
+	}
+	sc.Cmp.Prepare(scratch)
+	out := ensureMat(&ws.scores, tq.Rows, m)
+	sc.Cmp.CrossScores(out, tq, scratch)
+	return out
+}
+
+// topKExact runs the brute-force scan for a group of requests sharing one
+// relation: every destination-type partition, block by block, one GEMM per
+// (group, block). Results are written into out[i] for each group request.
+func (v *view) topKExact(ws *workspace, rel int, reqs []TopKRequest, out []TopKResult) {
+	n := len(reqs)
+	tq := v.gatherQueries(ws, rel, func(i int) (int32, []float32) {
+		return reqs[i].SrcID, reqs[i].Vector
+	}, n)
+
+	if cap(ws.heaps) < n {
+		ws.heaps = make([]topkHeap, n)
+	}
+	heaps := ws.heaps[:n]
+	for i := range heaps {
+		heaps[i].reset(reqs[i].K)
+	}
+
+	dstType := v.dstType[rel]
+	ent := &v.ss.schema.Entities[dstType]
+	scanned := 0
+	for p := 0; p < ent.NumPartitions; p++ {
+		rows := v.ss.Rows(dstType, p)
+		base := int32(p * ent.PartSize())
+		for lo := 0; lo < rows.Rows; lo += scoreBlock {
+			m := rows.Rows - lo
+			if m > scoreBlock {
+				m = scoreBlock
+			}
+			scores := v.scoreCandidateBlock(ws, rel, tq, rows, lo, m)
+			for i := 0; i < n; i++ {
+				row := scores.Row(i)
+				for j := 0; j < m; j++ {
+					heaps[i].push(base+int32(lo+j), row[j])
+				}
+			}
+			scanned += m
+		}
+	}
+	for i := 0; i < n; i++ {
+		heaps[i].take(&out[i])
+		out[i].Scanned = scanned
+	}
+}
+
+// scorePairs batch-scores (src, rel, dst) edges for a group sharing one
+// relation. The construction matches model.Scorer.Score bit for bit: the
+// source is operator-transformed, both sides prepared, then pair-scored.
+func (v *view) scorePairs(ws *workspace, rel int, reqs []ScoreRequest, out []float32) {
+	n := len(reqs)
+	sc := v.scorers[rel]
+	dim := v.ss.dim
+	tq := v.gatherQueries(ws, rel, func(i int) (int32, []float32) {
+		return reqs[i].Src, nil
+	}, n)
+	dstType := v.dstType[rel]
+	scratch := ensureMat(&ws.scratch, n, dim)
+	for i := 0; i < n; i++ {
+		copy(scratch.Row(i), v.ss.Row(dstType, reqs[i].Dst))
+	}
+	sc.Cmp.Prepare(scratch)
+	sc.Cmp.PairScores(out, tq, scratch)
+}
+
+// rank computes the mid-rank of dst among all destination-type entities for
+// (src, rel) — the serving twin of eval.Ranker's rankSide, sharing
+// eval.MidRank so online and offline ranks agree on tie handling. The true
+// edge itself is excluded from the candidate set, matching eval.
+func (v *view) rank(ws *workspace, rel int, src, dst int32) (float64, error) {
+	dstType := v.dstType[rel]
+	ent := &v.ss.schema.Entities[dstType]
+	if int(dst) >= ent.Count || dst < 0 {
+		return 0, fmt.Errorf("serve: rank dst %d out of range for type %d (count %d)", dst, dstType, ent.Count)
+	}
+	tq := v.gatherQueries(ws, rel, func(int) (int32, []float32) {
+		return src, nil
+	}, 1)
+
+	// True score first, through the same block scorer (n=1 blocks take the
+	// vec.Dot tail path, so this is bitwise model.Scorer.Score).
+	dp := ent.PartitionOf(dst)
+	dlocal := ent.LocalOffset(dst)
+	trueScores := v.scoreCandidateBlock(ws, rel, tq, v.ss.Rows(dstType, dp), dlocal, 1)
+	trueScore := trueScores.Row(0)[0]
+
+	all := make([]float32, 0, ent.Count-1)
+	for p := 0; p < ent.NumPartitions; p++ {
+		rows := v.ss.Rows(dstType, p)
+		base := int32(p * ent.PartSize())
+		for lo := 0; lo < rows.Rows; lo += scoreBlock {
+			m := rows.Rows - lo
+			if m > scoreBlock {
+				m = scoreBlock
+			}
+			scores := v.scoreCandidateBlock(ws, rel, tq, rows, lo, m)
+			row := scores.Row(0)
+			for j := 0; j < m; j++ {
+				if base+int32(lo+j) == dst {
+					continue
+				}
+				all = append(all, row[j])
+			}
+		}
+	}
+	return eval.MidRank(trueScore, all), nil
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pbg/internal/graph"
+	"pbg/internal/storage"
+)
+
+// mkShardBytes builds a syntactically valid shard file image.
+func mkShardBytes(typeIdx, part, count, dim uint32) []byte {
+	b := make([]byte, 0, headerBytes+int(count)*(int(dim)+1)*4)
+	var w [4]byte
+	push := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:], v)
+		b = append(b, w[:]...)
+	}
+	push(shardMagic)
+	push(shardVersion)
+	push(typeIdx)
+	push(part)
+	push(count)
+	push(dim)
+	for i := uint32(0); i < count*(dim+1); i++ {
+		push(math.Float32bits(float32(i) * 0.5))
+	}
+	return b
+}
+
+// FuzzShardHeader drives the mmap reader's single bounds gate with
+// arbitrary bytes: parseShardLayout must error on anything malformed and
+// never panic, and any accepted layout must exactly account for the file
+// size (so no later dereference can be out of range). Accepted inputs are
+// then round-tripped through the real file open path.
+func FuzzShardHeader(f *testing.F) {
+	f.Add(mkShardBytes(0, 0, 3, 4))
+	f.Add(mkShardBytes(1, 2, 0, 0))
+	f.Add(mkShardBytes(0, 0, 3, 4)[:headerBytes-1]) // truncated header
+	f.Add(mkShardBytes(0, 0, 3, 4)[:headerBytes+5]) // truncated body
+	huge := mkShardBytes(0, 0, 3, 4)
+	binary.LittleEndian.PutUint32(huge[16:], 0xffffffff) // absurd count
+	f.Add(huge)
+	bad := mkShardBytes(0, 0, 3, 4)
+	binary.LittleEndian.PutUint32(bad[0:], 0xdeadbeef) // wrong magic
+	f.Add(bad)
+
+	dir := f.TempDir()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := parseShardLayout(data, int64(len(data)))
+		if err != nil {
+			return // rejection is the expected outcome for junk
+		}
+		// Accepted: the declared geometry must tile the file exactly.
+		if int64(headerBytes)+l.EmbBytes+int64(l.Count)*4 != int64(len(data)) {
+			t.Fatalf("accepted layout %+v does not account for %d file bytes", l, len(data))
+		}
+		if l.EmbBytes != int64(l.Count)*int64(l.Dim)*4 {
+			t.Fatalf("accepted layout %+v has inconsistent EmbBytes", l)
+		}
+		// Round-trip through the real open path (mmap where available,
+		// codec elsewhere): it must come up with the same geometry or
+		// error cleanly — never panic.
+		path := filepath.Join(dir, "fuzz.pbg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sr, err := openShard(path, l.TypeIndex, l.Part, l.Dim, ModeAuto)
+		if err != nil {
+			return
+		}
+		defer sr.close()
+		if sr.rows.Rows != l.Count || sr.rows.Cols != l.Dim {
+			t.Fatalf("open path decoded %dx%d, header says %dx%d", sr.rows.Rows, sr.rows.Cols, l.Count, l.Dim)
+		}
+	})
+}
+
+// fuzzServer builds one tiny zero-embedding server for request fuzzing.
+func fuzzServer(f *testing.F) *Server {
+	f.Helper()
+	dir := f.TempDir()
+	schema := graph.MustSchema(
+		[]graph.EntityType{{Name: "node", Count: 20, NumPartitions: 2}},
+		[]graph.RelationType{{Name: "r", SourceType: "node", DestType: "node", Operator: "identity"}},
+	)
+	const dim = 4
+	for p := 0; p < 2; p++ {
+		n := schema.Entities[0].PartitionCount(p)
+		sh := &storage.Shard{TypeIndex: 0, Part: p, Count: n, Dim: dim,
+			Embs: make([]float32, n*dim), Acc: make([]float32, n)}
+		if err := storage.WriteShard(storage.ShardPath(dir, 0, p), sh); err != nil {
+			f.Fatal(err)
+		}
+	}
+	s, err := Open(dir, Config{Schema: schema, Dim: dim})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return s
+}
+
+// FuzzTopKRequest drives the RPC decode+validate surface with arbitrary
+// bytes: DecodeTopKArgs must error or return a batch that Validate either
+// rejects or the engine can serve — panics and over-reads are the bugs
+// being hunted (the gob decoder is bounded, Validate bounds-checks every
+// field against the schema).
+func FuzzTopKRequest(f *testing.F) {
+	s := fuzzServer(f)
+
+	seed := func(a TopKArgs) []byte {
+		b, err := encodeTopKArgs(&a)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add(seed(TopKArgs{Reqs: []TopKRequest{{Rel: 0, SrcID: 3, K: 5}}}))
+	f.Add(seed(TopKArgs{Reqs: []TopKRequest{{Rel: 0, SrcID: 3, K: 5, Exact: true}, {Rel: 0, Vector: []float32{1, 2, 3, 4}, K: 1}}}))
+	f.Add(seed(TopKArgs{Reqs: []TopKRequest{{Rel: 7, SrcID: -4, K: -2, NProbe: -9}}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x41, 0x99})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		args, err := DecodeTopKArgs(data)
+		if err != nil {
+			return
+		}
+		if err := args.Validate(s); err != nil {
+			return
+		}
+		// A batch that survives validation must actually be servable.
+		if _, err := s.TopK(args.Reqs); err != nil {
+			t.Fatalf("validated batch failed to serve: %v", err)
+		}
+	})
+}

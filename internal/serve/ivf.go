@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"math"
+
+	"pbg/internal/rng"
+	"pbg/internal/vec"
+)
+
+// IVF is an inverted-file ANN index over a ShardSet. The checkpoint's
+// partitions are the natural coarse quantizer — rows of one partition were
+// trained together and stay together on disk — and each partition is
+// subdivided by k-means into nlist sub-centroid lists. A query scores every
+// sub-centroid through the trained relation operator/comparator (so "near"
+// means near under the model's own similarity, not raw Euclidean), then
+// exhaustively scores only the rows of the best nprobe lists.
+//
+// The index stores per destination-type: per partition, an nlist×dim
+// centroid matrix plus, per centroid, the local row IDs assigned to it.
+// It is immutable after Build/ReadIVF and safe for concurrent readers.
+type IVF struct {
+	Dim int
+	// Types is indexed by entity-type index; nil entries are unindexed
+	// types (no relation uses them as a destination, or the index predates
+	// them).
+	Types []*ivfType
+}
+
+type ivfType struct {
+	Parts []ivfPart
+	// Lists is the total sub-centroid list count across partitions, the
+	// denominator for DefaultNProbe.
+	Lists int
+}
+
+type ivfPart struct {
+	// Centroids is nlist×dim; list l holds the rows k-means assigned to
+	// centroid l, as partition-local row indices.
+	Centroids vec.Matrix
+	Lists     [][]int32
+}
+
+// IVFConfig controls index construction.
+type IVFConfig struct {
+	// MaxLists caps sub-centroids per partition; nlist is
+	// min(MaxLists, ceil(sqrt(rows))). 0 means the default 256.
+	MaxLists int
+	// Iters is the number of Lloyd iterations (0 = default 8).
+	Iters int
+	// Seed feeds the k-means initialisation.
+	Seed uint64
+}
+
+func (c IVFConfig) withDefaults() IVFConfig {
+	if c.MaxLists <= 0 {
+		c.MaxLists = 256
+	}
+	if c.Iters <= 0 {
+		c.Iters = 8
+	}
+	return c
+}
+
+// DefaultNProbe is the probe width used when a request doesn't set one:
+// 40% of the type's lists, at least 4. Euclidean sub-centroids are an
+// imperfect router for dot-product similarity (a high-norm row can score
+// high from a "far" cell), so the default is deliberately conservative —
+// measured ≥ 0.95 recall@10 on the property-test fixtures while still
+// pruning ~2.5× of the scan. Latency-sensitive callers tune NProbe per
+// request; the recall property test pins this default.
+func DefaultNProbe(totalLists int) int {
+	np := (totalLists*2 + 4) / 5
+	if np < 4 {
+		np = 4
+	}
+	if np > totalLists {
+		np = totalLists
+	}
+	return np
+}
+
+// BuildIVF clusters every partition of every entity type in the set.
+func BuildIVF(ss *ShardSet, cfg IVFConfig) *IVF {
+	cfg = cfg.withDefaults()
+	idx := &IVF{Dim: ss.dim, Types: make([]*ivfType, len(ss.schema.Entities))}
+	for t := range ss.schema.Entities {
+		ent := &ss.schema.Entities[t]
+		it := &ivfType{Parts: make([]ivfPart, ent.NumPartitions)}
+		for p := 0; p < ent.NumPartitions; p++ {
+			rows := ss.Rows(t, p)
+			r := rng.New(cfg.Seed ^ uint64(t)<<32 ^ uint64(p)<<8 ^ 0x9e3779b97f4a7c15)
+			it.Parts[p] = buildPart(rows, cfg, r)
+			it.Lists += len(it.Parts[p].Lists)
+		}
+		idx.Types[t] = it
+	}
+	return idx
+}
+
+// buildPart runs Lloyd k-means over one partition's rows. Clustering is in
+// raw embedding space with Euclidean distance — cheap, deterministic, and
+// good enough as a bucketing device; retrieval quality is measured under
+// the model comparator by the recall property test, not assumed here.
+func buildPart(rows vec.Matrix, cfg IVFConfig, r *rng.RNG) ivfPart {
+	n, dim := rows.Rows, rows.Cols
+	nlist := int(math.Ceil(math.Sqrt(float64(n))))
+	if nlist > cfg.MaxLists {
+		nlist = cfg.MaxLists
+	}
+	if nlist < 1 {
+		nlist = 1
+	}
+	if nlist > n {
+		nlist = n
+	}
+	cent := vec.NewMatrix(nlist, dim)
+	if n == 0 {
+		return ivfPart{Centroids: cent, Lists: make([][]int32, nlist)}
+	}
+	// Init: a random sample of distinct rows.
+	perm := make([]int, n)
+	r.Perm(perm)
+	for c := 0; c < nlist; c++ {
+		copy(cent.Row(c), rows.Row(perm[c]))
+	}
+	assign := make([]int32, n)
+	counts := make([]int, nlist)
+	for iter := 0; iter < cfg.Iters; iter++ {
+		for i := 0; i < n; i++ {
+			assign[i] = int32(nearestCentroid(cent, rows.Row(i)))
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		vec.Zero(cent.Data)
+		for i := 0; i < n; i++ {
+			vec.Axpy(1, rows.Row(i), cent.Row(int(assign[i])))
+			counts[assign[i]]++
+		}
+		for c := 0; c < nlist; c++ {
+			if counts[c] == 0 {
+				// Empty cluster: reseed on a random row so no list is dead.
+				copy(cent.Row(c), rows.Row(r.Intn(n)))
+				continue
+			}
+			vec.Scale(1/float32(counts[c]), cent.Row(c))
+		}
+	}
+	// Final assignment into lists.
+	lists := make([][]int32, nlist)
+	for i := 0; i < n; i++ {
+		c := nearestCentroid(cent, rows.Row(i))
+		lists[c] = append(lists[c], int32(i))
+	}
+	return ivfPart{Centroids: cent, Lists: lists}
+}
+
+func nearestCentroid(cent vec.Matrix, x []float32) int {
+	best, bestD := 0, float32(math.Inf(1))
+	for c := 0; c < cent.Rows; c++ {
+		d := vec.SquaredDistance(cent.Row(c), x)
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// probeCand is one (partition, list) cell with its query-side score.
+type probeCand struct {
+	part, list int
+	score      float32
+}
+
+// topKIVF answers a group of same-relation requests through the index:
+// score all sub-centroids with the prepared queries, keep each query's
+// nprobe best lists, and exact-score only those lists' rows.
+func (v *view) topKIVF(ws *workspace, rel int, reqs []TopKRequest, out []TopKResult) {
+	n := len(reqs)
+	tq := v.gatherQueries(ws, rel, func(i int) (int32, []float32) {
+		return reqs[i].SrcID, reqs[i].Vector
+	}, n)
+	dstType := v.dstType[rel]
+	ent := &v.ss.schema.Entities[dstType]
+	it := v.ivf.Types[dstType]
+
+	// Stage 1: centroid scores for the whole group, one block GEMM per
+	// partition's centroid matrix. Collected per query into ws.probes.
+	if cap(ws.probes) < n*it.Lists {
+		ws.probes = make([]probeCand, n*it.Lists)
+	}
+	probes := ws.probes[:n*it.Lists]
+	col := 0
+	for p := range it.Parts {
+		cent := it.Parts[p].Centroids
+		for lo := 0; lo < cent.Rows; lo += scoreBlock {
+			m := cent.Rows - lo
+			if m > scoreBlock {
+				m = scoreBlock
+			}
+			scores := v.scoreCandidateBlock(ws, rel, tq, cent, lo, m)
+			for i := 0; i < n; i++ {
+				row := scores.Row(i)
+				base := i * it.Lists
+				for j := 0; j < m; j++ {
+					probes[base+col+j] = probeCand{part: p, list: lo + j, score: row[j]}
+				}
+			}
+			col += m
+		}
+	}
+
+	if cap(ws.heaps) < n {
+		ws.heaps = make([]topkHeap, n)
+	}
+	heaps := ws.heaps[:n]
+
+	// Stage 2: per query, select the nprobe best lists and exact-score
+	// their rows. Queries in the group can have different probe widths.
+	for i := 0; i < n; i++ {
+		nprobe := reqs[i].NProbe
+		if nprobe <= 0 {
+			nprobe = v.nprobe
+		}
+		if nprobe > it.Lists {
+			nprobe = it.Lists
+		}
+		mine := probes[i*it.Lists : (i+1)*it.Lists]
+		selectProbes(mine, nprobe)
+
+		heaps[i].reset(reqs[i].K)
+		qv := vec.MatrixFrom(tq.Row(i), 1, tq.Cols)
+		scanned := 0
+		for _, pc := range mine[:nprobe] {
+			part := &it.Parts[pc.part]
+			ids := part.Lists[pc.list]
+			base := int32(pc.part * ent.PartSize())
+			rows := v.ss.Rows(dstType, pc.part)
+			for lo := 0; lo < len(ids); lo += scoreBlock {
+				m := len(ids) - lo
+				if m > scoreBlock {
+					m = scoreBlock
+				}
+				scratch := ensureMat(&ws.scratch, m, v.ss.dim)
+				for j := 0; j < m; j++ {
+					copy(scratch.Row(j), rows.Row(int(ids[lo+j])))
+				}
+				sc := v.scorers[rel]
+				sc.Cmp.Prepare(scratch)
+				scores := ensureMat(&ws.scores, 1, m)
+				sc.Cmp.CrossScores(scores, qv, scratch)
+				row := scores.Row(0)
+				for j := 0; j < m; j++ {
+					heaps[i].push(base+ids[lo+j], row[j])
+				}
+				scanned += m
+			}
+		}
+		heaps[i].take(&out[i])
+		out[i].Scanned = scanned
+		out[i].Probed = nprobe
+	}
+}
+
+// selectProbes partially sorts cells so the nprobe best-by-score (ties by
+// (part, list) ascending, keeping selection deterministic) come first.
+func selectProbes(cells []probeCand, nprobe int) {
+	before := func(a, b probeCand) bool {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		if a.part != b.part {
+			return a.part < b.part
+		}
+		return a.list < b.list
+	}
+	// Heap-select: max-heapify by "after" over the first nprobe, then sweep.
+	// Sizes are small (lists ≤ a few thousand); simple selection keeps it
+	// allocation-free.
+	if nprobe >= len(cells) {
+		return
+	}
+	// Partial selection sort via a bounded heap over cells[:nprobe]: root is
+	// the worst kept cell.
+	h := cells[:nprobe]
+	worse := func(i, j int) bool { return before(h[j], h[i]) }
+	var down func(i, n int)
+	down = func(i, n int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			w := i
+			if l < n && worse(l, w) {
+				w = l
+			}
+			if r < n && worse(r, w) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			h[i], h[w] = h[w], h[i]
+			i = w
+		}
+	}
+	for i := nprobe/2 - 1; i >= 0; i-- {
+		down(i, nprobe)
+	}
+	for i := nprobe; i < len(cells); i++ {
+		if before(cells[i], h[0]) {
+			h[0] = cells[i]
+			down(0, nprobe)
+		}
+	}
+}
+
+// Bytes reports the serialized footprint of the index (centroid floats +
+// list IDs + headers), the value behind the index-size gauge.
+func (idx *IVF) Bytes() int64 {
+	var b int64 = 16
+	for _, it := range idx.Types {
+		if it == nil {
+			continue
+		}
+		for _, p := range it.Parts {
+			b += 8 + int64(len(p.Centroids.Data))*4
+			for _, l := range p.Lists {
+				b += 4 + int64(len(l))*4
+			}
+		}
+	}
+	return b
+}
+
+// TotalLists reports the sub-centroid list count of one entity type
+// (0 when unindexed).
+func (idx *IVF) TotalLists(typeIdx int) int {
+	if typeIdx >= len(idx.Types) || idx.Types[typeIdx] == nil {
+		return 0
+	}
+	return idx.Types[typeIdx].Lists
+}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+)
+
+// The RPC front end mirrors internal/dist's plumbing: a net/rpc server on
+// plain TCP with gob encoding, one goroutine per connection. Request
+// structs are wire types distinct from the engine types so the decode
+// surface stays small and fully validated before any scoring happens —
+// FuzzTopKRequest drives DecodeTopKArgs + Validate with arbitrary bytes.
+
+// rpcMaxBatch bounds requests per RPC batch: past protecting the server
+// from absurd allocations, it keeps a single call's latency bounded so one
+// giant batch can't starve the connection.
+const rpcMaxBatch = 4096
+
+// TopKArgs is the wire form of a TopK batch.
+type TopKArgs struct {
+	Reqs []TopKRequest
+}
+
+// Validate bounds-checks a decoded batch against the serving schema before
+// any row is touched. Malformed input errors; it must never panic or cause
+// an out-of-range read downstream.
+func (a *TopKArgs) Validate(s *Server) error {
+	if len(a.Reqs) == 0 {
+		return fmt.Errorf("serve: empty topk batch")
+	}
+	if len(a.Reqs) > rpcMaxBatch {
+		return fmt.Errorf("serve: topk batch of %d exceeds limit %d", len(a.Reqs), rpcMaxBatch)
+	}
+	for i := range a.Reqs {
+		if a.Reqs[i].K > 1<<20 {
+			return fmt.Errorf("serve: request %d: K %d exceeds limit", i, a.Reqs[i].K)
+		}
+	}
+	return s.validateTopK(a.Reqs)
+}
+
+// DecodeTopKArgs gob-decodes a TopKArgs from raw bytes, bounding how much
+// it will read. This is the exact decode path net/rpc runs for a TopK call
+// body, extracted so the fuzzer can drive it directly with corrupt input.
+func DecodeTopKArgs(data []byte) (*TopKArgs, error) {
+	const maxBytes = 16 << 20
+	if len(data) > maxBytes {
+		return nil, fmt.Errorf("serve: topk request body of %d bytes exceeds limit", len(data))
+	}
+	var a TopKArgs
+	dec := gob.NewDecoder(io.LimitReader(bytes.NewReader(data), maxBytes))
+	if err := dec.Decode(&a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// encodeTopKArgs is DecodeTopKArgs' inverse; it seeds the fuzz corpus.
+func encodeTopKArgs(a *TopKArgs) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// TopKReply carries the batch results, aligned with TopKArgs.Reqs.
+type TopKReply struct {
+	Results []TopKResult
+}
+
+// ScoreArgs is the wire form of a Score batch.
+type ScoreArgs struct {
+	Reqs []ScoreRequest
+}
+
+// ScoreReply carries the scores, aligned with ScoreArgs.Reqs.
+type ScoreReply struct {
+	Scores []float32
+}
+
+// RankArgs asks for the eval-convention mid-rank of one edge.
+type RankArgs struct {
+	Rel      int
+	Src, Dst int32
+}
+
+// RankReply carries the mid-rank.
+type RankReply struct {
+	Rank float64
+}
+
+// ReloadArgs triggers a hot reload. Empty Dir re-reads the directory the
+// server already serves (pick up retrained shards / a rebuilt index).
+type ReloadArgs struct {
+	Dir string
+}
+
+// ReloadReply is empty; the call erroring is the signal.
+type ReloadReply struct{}
+
+// StatsArgs requests a Stats snapshot.
+type StatsArgs struct{}
+
+// StatsReply carries the snapshot.
+type StatsReply struct {
+	Stats Stats
+}
+
+// Service is the net/rpc receiver. Methods follow net/rpc's signature
+// contract and validate every argument before touching the engine.
+type Service struct {
+	s *Server
+}
+
+// TopK answers a batched top-K call.
+func (sv *Service) TopK(args *TopKArgs, reply *TopKReply) error {
+	if err := args.Validate(sv.s); err != nil {
+		return err
+	}
+	res, err := sv.s.TopK(args.Reqs)
+	if err != nil {
+		return err
+	}
+	reply.Results = res
+	return nil
+}
+
+// Score answers a batched edge-score call.
+func (sv *Service) Score(args *ScoreArgs, reply *ScoreReply) error {
+	if len(args.Reqs) == 0 {
+		return fmt.Errorf("serve: empty score batch")
+	}
+	if len(args.Reqs) > rpcMaxBatch {
+		return fmt.Errorf("serve: score batch of %d exceeds limit %d", len(args.Reqs), rpcMaxBatch)
+	}
+	scores, err := sv.s.Score(args.Reqs)
+	if err != nil {
+		return err
+	}
+	reply.Scores = scores
+	return nil
+}
+
+// Rank answers a single mid-rank call.
+func (sv *Service) Rank(args *RankArgs, reply *RankReply) error {
+	r, err := sv.s.Rank(args.Rel, args.Src, args.Dst)
+	if err != nil {
+		return err
+	}
+	reply.Rank = r
+	return nil
+}
+
+// Reload hot-swaps the checkpoint.
+func (sv *Service) Reload(args *ReloadArgs, _ *ReloadReply) error {
+	return sv.s.Reload(args.Dir)
+}
+
+// Stats reports the serving footprint.
+func (sv *Service) Stats(_ *StatsArgs, reply *StatsReply) error {
+	st, err := sv.s.Stats()
+	if err != nil {
+		return err
+	}
+	reply.Stats = st
+	return nil
+}
+
+// serviceName is the registered net/rpc receiver name.
+const serviceName = "Serve"
+
+// RPCServer is a listening front end over one Server.
+type RPCServer struct {
+	ln net.Listener
+}
+
+// ListenAndServe exposes s over net/rpc on addr ("host:port"; ":0" picks a
+// free port). It returns once the listener is bound; connections are
+// served on background goroutines until Close.
+func ListenAndServe(addr string, s *Server) (*RPCServer, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(serviceName, &Service{s: s}); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed: shutdown
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return &RPCServer{ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (r *RPCServer) Addr() string { return r.ln.Addr().String() }
+
+// Close stops accepting connections. In-flight calls finish.
+func (r *RPCServer) Close() error { return r.ln.Close() }
+
+// Client is a typed net/rpc client for the serving API.
+type Client struct {
+	c *rpc.Client
+}
+
+// Dial connects to a serving front end.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// TopK runs a batched top-K query.
+func (c *Client) TopK(reqs []TopKRequest) ([]TopKResult, error) {
+	var reply TopKReply
+	if err := c.c.Call(serviceName+".TopK", &TopKArgs{Reqs: reqs}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Results, nil
+}
+
+// Score runs a batched edge-score query.
+func (c *Client) Score(reqs []ScoreRequest) ([]float32, error) {
+	var reply ScoreReply
+	if err := c.c.Call(serviceName+".Score", &ScoreArgs{Reqs: reqs}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Scores, nil
+}
+
+// Rank fetches the mid-rank of dst for (src, rel).
+func (c *Client) Rank(rel int, src, dst int32) (float64, error) {
+	var reply RankReply
+	if err := c.c.Call(serviceName+".Rank", &RankArgs{Rel: rel, Src: src, Dst: dst}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Rank, nil
+}
+
+// Reload asks the server to hot-swap its checkpoint.
+func (c *Client) Reload(dir string) error {
+	return c.c.Call(serviceName+".Reload", &ReloadArgs{Dir: dir}, &ReloadReply{})
+}
+
+// Stats fetches the serving footprint.
+func (c *Client) Stats() (Stats, error) {
+	var reply StatsReply
+	if err := c.c.Call(serviceName+".Stats", &StatsArgs{}, &reply); err != nil {
+		return Stats{}, err
+	}
+	return reply.Stats, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.c.Close() }

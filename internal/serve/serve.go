@@ -1,0 +1,93 @@
+// Package serve is the online embedding serving layer: it answers
+// score/top-K-neighbour queries against a trained checkpoint directory
+// written by pbg-train / Model.Checkpoint, closing the train→serve gap —
+// trained embeddings no longer dead-end in shard files.
+//
+// The layer is built from four pieces:
+//
+//   - ShardSet (shardset.go): a read-only view over the checkpoint's shard
+//     files. On platforms with mmap the embedding block of each shard is
+//     memory-mapped and rows are zero-copy slice views into the page cache;
+//     elsewhere (or with ModeCodec) shards load through the same
+//     storage.ReadShard codec the trainer uses. A parity test pins that
+//     both paths return bit-identical rows.
+//   - The batched scoring engine (engine.go): incoming requests are grouped
+//     per relation, query embeddings are gathered and transformed through
+//     the trained model operator once per group, and candidates are scored
+//     in blocks through the model comparators (vec.MulABt underneath) with
+//     per-worker scratch buffers reused across requests — the same
+//     construction as the training hot path, read-only.
+//   - An IVF approximate-nearest-neighbour index (ivf.go): the checkpoint's
+//     partitions act as the coarse quantizer and each partition gets
+//     k-means sub-centroids; a query probes the NProbe best-scoring lists
+//     instead of scanning every row. The index serialises next to the
+//     checkpoint (ivf.pbg) and recall against the exact scan is pinned by a
+//     property test.
+//   - Server (server.go) + the net/rpc front end (rpc.go): an atomically
+//     hot-swappable view (shards + index + relation parameters) behind
+//     TopK/Score/Rank APIs, served over the same net/rpc plumbing
+//     internal/dist uses and instrumented through internal/obs
+//     (pbg_serve_requests_total, per-stage latency histograms, index-size
+//     gauges).
+//
+// Determinism contract: ties in top-K results are broken by
+// eval.CompareScored (higher score first, then lower entity ID), the same
+// convention the evaluation mid-rank logic is built on, so served
+// neighbour lists are reproducible and comparable against offline eval.
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode selects how ShardSet reads shard files.
+type Mode int
+
+const (
+	// ModeAuto memory-maps shards where the platform supports it and falls
+	// back to the codec path otherwise. The default.
+	ModeAuto Mode = iota
+	// ModeMmap requires the mmap path; opening fails on platforms without
+	// mmap support.
+	ModeMmap
+	// ModeCodec forces the storage.ReadShard codec path (shards are read
+	// into private memory). Used by the parity tests and as the portable
+	// fallback.
+	ModeCodec
+)
+
+// String names the mode for logs and flags.
+func (m Mode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeMmap:
+		return "mmap"
+	case ModeCodec:
+		return "codec"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a -mode flag value: "auto", "mmap" or "codec".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "mmap":
+		return ModeMmap, nil
+	case "codec":
+		return ModeCodec, nil
+	default:
+		return ModeAuto, fmt.Errorf("serve: unknown shard read mode %q (want auto, mmap or codec)", s)
+	}
+}
+
+// ErrClosed is returned by Server APIs after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// MmapAvailable reports whether this platform has the zero-copy mmap read
+// path (ModeAuto uses it exactly when true).
+func MmapAvailable() bool { return mmapSupported }

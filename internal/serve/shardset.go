@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"pbg/internal/graph"
+	"pbg/internal/storage"
+	"pbg/internal/vec"
+)
+
+// Shard file layout (written by storage.WriteShard): a 24-byte header of six
+// little-endian uint32s — magic "PBGS", version, entity-type index,
+// partition, row count, dim — then count×dim float32 embeddings, then count
+// float32 Adagrad accumulators. The serving layer maps only the embedding
+// block; the accumulator tail is training state and never touched here.
+const (
+	shardMagic   = 0x50424753 // "PBGS", must match storage.go
+	shardVersion = 1
+	headerBytes  = 24
+)
+
+// shardLayout is the validated geometry of one shard file.
+type shardLayout struct {
+	TypeIndex int
+	Part      int
+	Count     int
+	Dim       int
+	// EmbBytes is the byte length of the embedding block, which starts at
+	// offset headerBytes.
+	EmbBytes int64
+}
+
+// parseShardLayout validates a shard header against the file size and
+// returns the layout. It is the single bounds gate for the mmap path —
+// every offset the reader later dereferences is proven in-range here —
+// and is the target of FuzzShardHeader: malformed input must error, never
+// panic or imply an out-of-range access.
+func parseShardLayout(hdr []byte, fileSize int64) (shardLayout, error) {
+	var l shardLayout
+	if len(hdr) < headerBytes {
+		return l, fmt.Errorf("serve: shard header truncated: %d bytes, want %d", len(hdr), headerBytes)
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	if magic != shardMagic {
+		return l, fmt.Errorf("serve: bad shard magic 0x%08x", magic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardVersion {
+		return l, fmt.Errorf("serve: unsupported shard version %d", v)
+	}
+	typeIndex := binary.LittleEndian.Uint32(hdr[8:])
+	part := binary.LittleEndian.Uint32(hdr[12:])
+	count := binary.LittleEndian.Uint32(hdr[16:])
+	dim := binary.LittleEndian.Uint32(hdr[20:])
+	const maxI32 = 1<<31 - 1
+	if typeIndex > maxI32 || part > maxI32 || count > maxI32 || dim > maxI32 {
+		return l, fmt.Errorf("serve: shard header field out of range (type %d part %d count %d dim %d)", typeIndex, part, count, dim)
+	}
+	if count > 0 && dim == 0 {
+		return l, fmt.Errorf("serve: shard has %d rows but dim 0", count)
+	}
+	// All arithmetic in int64: count, dim < 2^31 so count*(dim+1)*4 < 2^65
+	// could still overflow — bound the product first.
+	c, d := int64(count), int64(dim)
+	if d > 0 && c > (1<<59)/d {
+		return l, fmt.Errorf("serve: shard geometry overflows (count %d dim %d)", count, dim)
+	}
+	embBytes := c * d * 4
+	accBytes := c * 4
+	want := int64(headerBytes) + embBytes + accBytes
+	if fileSize != want {
+		return l, fmt.Errorf("serve: shard file size %d does not match header (want %d for count %d dim %d)", fileSize, want, count, dim)
+	}
+	l = shardLayout{
+		TypeIndex: int(typeIndex),
+		Part:      int(part),
+		Count:     int(count),
+		Dim:       int(dim),
+		EmbBytes:  embBytes,
+	}
+	return l, nil
+}
+
+// shardRows is one open shard: a count×dim read-only matrix of embedding
+// rows, either a zero-copy view into an mmap region or codec-decoded
+// private memory.
+type shardRows struct {
+	rows    vec.Matrix
+	mapped  *mapping // nil on the codec path
+	mmapped bool
+}
+
+func (s *shardRows) close() error {
+	if s.mapped != nil {
+		m := s.mapped
+		s.mapped = nil
+		s.rows = vec.Matrix{}
+		return m.close()
+	}
+	s.rows = vec.Matrix{}
+	return nil
+}
+
+// openShard opens one shard file under mode and validates that its header
+// matches the expected (typeIdx, part, dim) from the schema.
+func openShard(path string, typeIdx, part, dim int, mode Mode) (*shardRows, error) {
+	useMmap := mode == ModeMmap || (mode == ModeAuto && mmapSupported)
+	if mode == ModeMmap && !mmapSupported {
+		return nil, fmt.Errorf("serve: mmap mode requested but unsupported on this platform")
+	}
+	var sr *shardRows
+	var err error
+	if useMmap {
+		sr, err = openShardMmap(path)
+	} else {
+		sr, err = openShardCodec(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sr.rows.Cols != dim {
+		c := sr.rows.Cols
+		sr.close()
+		return nil, fmt.Errorf("serve: shard %s has dim %d, server configured for %d", path, c, dim)
+	}
+	return sr, nil
+}
+
+// openShardMmap maps the file and returns a zero-copy view of the embedding
+// block. The mapping is PROT_READ: any write through a row slice faults,
+// which is the point — serving can never corrupt a checkpoint.
+func openShardMmap(path string) (*shardRows, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	m, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("serve: mmap %s: %w", path, err)
+	}
+	b := m.bytes()
+	l, err := parseShardLayout(b, st.Size())
+	if err != nil {
+		m.close()
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	embs, err := floatView(b[headerBytes : int64(headerBytes)+l.EmbBytes])
+	if err != nil {
+		m.close()
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	return &shardRows{
+		rows:    vec.MatrixFrom(embs, l.Count, l.Dim),
+		mapped:  m,
+		mmapped: true,
+	}, nil
+}
+
+// openShardCodec reads the shard through the trainer's storage codec. The
+// parity test pins that rows from this path are bit-identical to the mmap
+// view: both decode the same little-endian float32 block.
+func openShardCodec(path string) (*shardRows, error) {
+	sh, err := storage.ReadShard(path)
+	if err != nil {
+		return nil, err
+	}
+	return &shardRows{
+		rows: vec.MatrixFrom(sh.Embs, sh.Count, sh.Dim),
+	}, nil
+}
+
+// ShardSet is a read-only view over every shard of a checkpoint directory.
+// It is immutable after Open: hot reloads build a fresh ShardSet and swap
+// it in atomically (see Server), so concurrent readers never observe a
+// partially-open set.
+type ShardSet struct {
+	schema *graph.Schema
+	dim    int
+	shards []map[int]*shardRows // per entity type: partition → rows
+	mapped int
+	bytes  int64
+	closed bool
+}
+
+// OpenShardSet opens every (entity type, partition) shard of the checkpoint
+// under dir, validating each header against the schema geometry.
+func OpenShardSet(dir string, schema *graph.Schema, dim int, mode Mode) (*ShardSet, error) {
+	ss := &ShardSet{schema: schema, dim: dim}
+	ss.shards = make([]map[int]*shardRows, len(schema.Entities))
+	for t := range schema.Entities {
+		ent := &schema.Entities[t]
+		ss.shards[t] = make(map[int]*shardRows, ent.NumPartitions)
+		for p := 0; p < ent.NumPartitions; p++ {
+			path := storage.ShardPath(dir, t, p)
+			sr, err := openShard(path, t, p, dim, mode)
+			if err != nil {
+				ss.Close()
+				return nil, err
+			}
+			wantRows := ent.PartitionCount(p)
+			if sr.rows.Rows != wantRows {
+				got := sr.rows.Rows
+				sr.close()
+				ss.Close()
+				return nil, fmt.Errorf("serve: shard %s has %d rows, schema expects %d", path, got, wantRows)
+			}
+			ss.shards[t][p] = sr
+			if sr.mmapped {
+				ss.mapped++
+			}
+			ss.bytes += int64(len(sr.rows.Data)) * 4
+		}
+	}
+	return ss, nil
+}
+
+// Rows returns the count×dim embedding matrix of one (entity type,
+// partition) shard. The matrix is read-only — on the mmap path writing
+// through it faults — and callers that feed it to comparator Prepare (which
+// mutates in place) must copy rows out first.
+func (ss *ShardSet) Rows(typeIdx, part int) vec.Matrix {
+	return ss.shards[typeIdx][part].rows
+}
+
+// Row returns the embedding of one entity by global ID (zero-copy view).
+func (ss *ShardSet) Row(typeIdx int, id int32) []float32 {
+	ent := &ss.schema.Entities[typeIdx]
+	p := ent.PartitionOf(id)
+	local := ent.LocalOffset(id)
+	return ss.shards[typeIdx][p].rows.Row(int(local))
+}
+
+// Schema returns the schema the set was opened against.
+func (ss *ShardSet) Schema() *graph.Schema { return ss.schema }
+
+// Dim returns the embedding dimension.
+func (ss *ShardSet) Dim() int { return ss.dim }
+
+// MappedShards reports how many shards are on the zero-copy mmap path.
+func (ss *ShardSet) MappedShards() int { return ss.mapped }
+
+// Bytes reports the total embedding bytes resident or mapped.
+func (ss *ShardSet) Bytes() int64 { return ss.bytes }
+
+// Close unmaps/releases every shard. The caller must guarantee no
+// outstanding readers; Server does this with view refcounting.
+func (ss *ShardSet) Close() error {
+	if ss.closed {
+		return nil
+	}
+	ss.closed = true
+	var first error
+	for _, parts := range ss.shards {
+		for _, sr := range parts {
+			if err := sr.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,117 @@
+package serve_test
+
+import (
+	"os"
+	"testing"
+
+	"pbg/internal/serve"
+	"pbg/internal/serve/servetest"
+	"pbg/internal/storage"
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	servetest.Cleanup()
+	os.Exit(code)
+}
+
+// TestMmapCodecBitParity is the tentpole parity claim: every row served
+// from the mmap view is bit-identical to the same row decoded by the
+// storage codec.
+func TestMmapCodecBitParity(t *testing.T) {
+	f := servetest.Shared(t, servetest.FixtureConfig{})
+	codec, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim, serve.ModeCodec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer codec.Close()
+	auto, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim, serve.ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close()
+
+	for ti := range f.Graph.Schema.Entities {
+		ent := &f.Graph.Schema.Entities[ti]
+		for id := int32(0); int(id) < ent.Count; id++ {
+			a, b := codec.Row(ti, id), auto.Row(ti, id)
+			if len(a) != len(b) {
+				t.Fatalf("row length mismatch for type %d id %d", ti, id)
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("type %d id %d dim %d: codec %x mmap %x", ti, id, k, a[k], b[k])
+				}
+			}
+		}
+		for p := 0; p < ent.NumPartitions; p++ {
+			ma, mb := codec.Rows(ti, p), auto.Rows(ti, p)
+			if ma.Rows != mb.Rows || ma.Cols != mb.Cols {
+				t.Fatalf("shard %d/%d shape mismatch", ti, p)
+			}
+		}
+	}
+	if serve.MmapAvailable() && auto.MappedShards() == 0 {
+		t.Fatalf("ModeAuto mapped no shards on an mmap-capable platform")
+	}
+	if codec.MappedShards() != 0 {
+		t.Fatalf("ModeCodec reported %d mapped shards", codec.MappedShards())
+	}
+}
+
+func TestOpenShardSetRejectsCorruptShard(t *testing.T) {
+	f := servetest.Shared(t, servetest.FixtureConfig{})
+	for _, mode := range []serve.Mode{serve.ModeCodec, serve.ModeAuto} {
+		dir := t.TempDir()
+		// Copy the checkpoint, then truncate one shard.
+		if err := copyDir(f.Dir, dir); err != nil {
+			t.Fatal(err)
+		}
+		path := storage.ShardPath(dir, 0, 0)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := serve.OpenShardSet(dir, f.Graph.Schema, f.Cfg.Dim, mode); err == nil {
+			t.Fatalf("mode %v: opened a truncated shard without error", mode)
+		}
+		// Corrupt the magic.
+		copy(data, []byte{0, 1, 2, 3})
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := serve.OpenShardSet(dir, f.Graph.Schema, f.Cfg.Dim, mode); err == nil {
+			t.Fatalf("mode %v: opened a bad-magic shard without error", mode)
+		}
+	}
+}
+
+func TestOpenShardSetRejectsDimMismatch(t *testing.T) {
+	f := servetest.Shared(t, servetest.FixtureConfig{})
+	if _, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim+1, serve.ModeAuto); err == nil {
+		t.Fatal("opened checkpoint with wrong dim without error")
+	}
+}
+
+func copyDir(src, dst string) error {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(src + "/" + e.Name())
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst+"/"+e.Name(), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
