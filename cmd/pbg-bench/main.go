@@ -20,9 +20,9 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id: all, table1, table2, table3, table4, figure1, figure4, figure5, figure6, figure7, ordering, ablations, serve")
+	expFlag := flag.String("exp", "all", "experiment id: all, table1, table2, table3, table4, figure1, figure4, figure5, figure6, figure7, ordering, ablations, serve, codec")
 	scaleFlag := flag.String("scale", "small", "small or medium")
-	shortFlag := flag.Bool("short", false, "CI-sized runs where an experiment supports it (currently: serve)")
+	shortFlag := flag.Bool("short", false, "CI-sized runs where an experiment supports it (currently: serve, codec)")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -120,6 +120,10 @@ func main() {
 	if all || want["serve"] {
 		rep, err := bench.ServeSweep(scale, *shortFlag)
 		report(rep, []string{"QPS", "p99_ms", "recall@10", "rows/query"}, err)
+	}
+	if all || want["codec"] {
+		rep, err := bench.CodecSweep(scale, *shortFlag)
+		report(rep, []string{"bytes/row", "xfp32", "shard_MB", "write_MB/s", "read_MB/s", "lookahead"}, err)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *expFlag)

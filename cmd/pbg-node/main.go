@@ -61,7 +61,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := train.ValidateRunFlags(*orderBy, memBudget, *slots, 0, *maxLook); err != nil {
+	// Distributed training stays fp32 for now: the remote checkout cache has
+	// no shard codec, so slot pricing below is fp32 too (quantizing the
+	// partition-server store is a filed ROADMAP follow-up).
+	if err := train.ValidateRunFlags(*orderBy, "", memBudget, *slots, 0, *maxLook); err != nil {
 		log.Fatal(err)
 	}
 	var hub *obs.Hub
@@ -96,7 +99,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			bufSlots = train.BufferSlotsFor(schema, *dim, memBudget)
+			bufSlots = train.BufferSlotsFor(schema, *dim, memBudget, storage.CodecFP32)
 		}
 		var order []partition.Bucket
 		if *orderBy == partition.OrderBudgetAware {

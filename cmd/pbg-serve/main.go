@@ -28,6 +28,7 @@ import (
 	"pbg"
 	"pbg/internal/obs"
 	"pbg/internal/serve"
+	"pbg/internal/storage"
 )
 
 func main() {
@@ -45,6 +46,9 @@ func main() {
 		addr       = flag.String("addr", ":7421", "rpc listen address")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
 		mode       = flag.String("mode", "auto", "shard read mode: auto, mmap, codec")
+		quant      = flag.String("quant", "auto", "quantized scan: auto (scan int8/fp16 bytes when present, re-rank from fp32), off")
+		rerank     = flag.Float64("rerank", 0, "quantized-scan oversampling factor (0 = default 3)")
+		buildQuant = flag.String("build-quant", "", "write quantized sibling copies under this codec (fp16, int8) before serving")
 		nprobe     = flag.Int("nprobe", 0, "default IVF probe width (0 = serve.DefaultNProbe)")
 		buildIndex = flag.Bool("build-index", false, "build and persist the IVF index before serving")
 		seed       = flag.Uint64("seed", 1, "k-means seed for -build-index")
@@ -82,9 +86,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	qm, err := serve.ParseQuant(*quant)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := serve.Config{
 		Schema: g.Schema, Dim: *dim, Comparator: *comparator,
-		Mode: m, NProbe: *nprobe,
+		Mode: m, Quant: qm, Rerank: *rerank, NProbe: *nprobe,
 	}
 	if *obsAddr != "" {
 		hub := obs.NewHub()
@@ -102,6 +110,15 @@ func main() {
 		log.Fatal(err)
 	}
 	defer s.Close()
+	if *buildQuant != "" {
+		c, err := storage.ParseCodec(*buildQuant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.BuildQuant(c); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *buildIndex {
 		if err := s.BuildIndex(serve.IVFConfig{Seed: *seed}); err != nil {
 			log.Fatal(err)
@@ -111,8 +128,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %s: %d mapped shards (%.1f MB), index: %v (%d lists)\n",
-		st.Dir, st.MappedShards, float64(st.MappedBytes)/(1<<20), st.HasIndex, st.IndexLists)
+	quantInfo := "off"
+	if st.QuantShards > 0 {
+		quantInfo = fmt.Sprintf("%s (%d shards, %.1f MB)", st.QuantCodec, st.QuantShards, float64(st.QuantBytes)/(1<<20))
+	}
+	fmt.Printf("serving %s: %d mapped shards (%.1f MB), quant scan: %s, index: %v (%d lists)\n",
+		st.Dir, st.MappedShards, float64(st.MappedBytes)/(1<<20), quantInfo, st.HasIndex, st.IndexLists)
 
 	front, err := serve.ListenAndServe(*addr, s)
 	if err != nil {
@@ -139,8 +160,12 @@ func runClient(addr string, rel int, src, dst int32, k int, exact bool, nprobe i
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("dir: %s\nmapped shards: %d (%.1f MB)\nindex: %v (%d lists, %.1f MB)\nrequests served: %d\n",
-			st.Dir, st.MappedShards, float64(st.MappedBytes)/(1<<20),
+		quantInfo := "off"
+		if st.QuantShards > 0 {
+			quantInfo = fmt.Sprintf("%s (%d shards, %.1f MB)", st.QuantCodec, st.QuantShards, float64(st.QuantBytes)/(1<<20))
+		}
+		fmt.Printf("dir: %s\nmapped shards: %d (%.1f MB)\nquant scan: %s\nindex: %v (%d lists, %.1f MB)\nrequests served: %d\n",
+			st.Dir, st.MappedShards, float64(st.MappedBytes)/(1<<20), quantInfo,
 			st.HasIndex, st.IndexLists, float64(st.IndexBytes)/(1<<20), st.Requests)
 	case reloadDir != "":
 		if err := c.Reload(reloadDir); err != nil {

@@ -46,6 +46,7 @@ func main() {
 		lookahead  = flag.Int("lookahead", 0, "initial pipelined-prefetch depth (0 = default 1)")
 		maxLook    = flag.Int("max-lookahead", 0, "adaptive lookahead cap (0 = default; set equal to -lookahead to pin)")
 		order      = flag.String("order", "", "bucket order: inside_out (default), sequential, random, chained, budget_aware (optimises against -mem-budget)")
+		codecName  = flag.String("codec", "", "shard codec: fp32 (default), fp16, int8 — quantized checkpoints shrink shard bytes 2-4x and widen every -mem-budget window")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (e.g. 127.0.0.1:9090; empty = off)")
 	)
 	flag.Parse()
@@ -54,7 +55,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := train.ValidateRunFlags(*order, budget, 0, *lookahead, *maxLook); err != nil {
+	if err := train.ValidateRunFlags(*order, *codecName, budget, 0, *lookahead, *maxLook); err != nil {
+		log.Fatal(err)
+	}
+	codec, err := storage.ParseCodec(*codecName)
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -72,7 +77,7 @@ func main() {
 		Comparator: *comparator, Loss: *lossName,
 		LR: float32(*lr), Seed: *seed,
 		Lookahead: *lookahead, MaxLookahead: *maxLook, MemBudgetBytes: budget,
-		BucketOrder: *order,
+		BucketOrder: *order, Codec: *codecName,
 	}
 	if *obsAddr != "" {
 		hub := obs.NewHub()
@@ -85,7 +90,7 @@ func main() {
 		fmt.Printf("observability on http://%s (/metrics, /trace, /debug/pprof/)\n", srv.Addr())
 	}
 	if *order == partition.OrderBudgetAware {
-		plan, slots := train.PlanOrderFor(g.Schema, *dim, budget)
+		plan, slots := train.PlanOrderFor(g.Schema, *dim, budget, codec)
 		switch {
 		case slots <= 0:
 			fmt.Println("budget_aware: no usable -mem-budget; order degrades to inside_out")

@@ -8,6 +8,7 @@ import (
 	"pbg/internal/eval"
 	"pbg/internal/graph"
 	"pbg/internal/partition"
+	"pbg/internal/storage"
 	"pbg/internal/train"
 )
 
@@ -72,7 +73,9 @@ func TrainDistributed(g *Graph, cfg DistributedConfig) (*DistributedResult, erro
 	// caches use, so the cluster's lock server leases the order that was
 	// optimised for the buffer the machines will actually sustain. Other
 	// order names ignore slots.
-	slots := train.BufferSlotsFor(g.Schema, cfg.Train.Dim, cfg.Train.MemBudgetBytes)
+	// Distributed checkout caches hold fp32 shards (no remote-store codec
+	// yet), so slots are priced fp32 regardless of cfg.Train.Codec.
+	slots := train.BufferSlotsFor(g.Schema, cfg.Train.Dim, cfg.Train.MemBudgetBytes, storage.CodecFP32)
 	order, err := partition.OrderForBuffer(cfg.Train.BucketOrder, nSrc, nDst, cfg.Train.Seed, slots)
 	if err != nil {
 		return nil, err

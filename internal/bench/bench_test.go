@@ -278,6 +278,45 @@ func TestAblationStratumShape(t *testing.T) {
 	}
 }
 
+func TestCodecSweepShape(t *testing.T) {
+	rep, err := CodecSweep(SmallScale, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.Format([]string{"bytes/row", "xfp32", "shard_MB", "write_MB/s", "read_MB/s", "lookahead"}))
+	if len(rep.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(rep.Rows))
+	}
+	fp32, _ := rep.FindRow("fp32")
+	fp16, _ := rep.FindRow("fp16")
+	int8r, _ := rep.FindRow("int8")
+	// The acceptance claim: the quantized codecs shrink shard bytes, with
+	// int8 at least 2× below fp32 (4+dim+4 vs 4dim+4 bytes per row).
+	if int8r.Value("bytes/row")*2 > fp32.Value("bytes/row") {
+		t.Errorf("int8 %.1f bytes/row not ≥2x below fp32 %.1f",
+			int8r.Value("bytes/row"), fp32.Value("bytes/row"))
+	}
+	if fp16.Value("bytes/row") >= fp32.Value("bytes/row") {
+		t.Errorf("fp16 %.1f bytes/row not below fp32 %.1f",
+			fp16.Value("bytes/row"), fp32.Value("bytes/row"))
+	}
+	// Smaller shards must widen (never narrow) the lookahead the same byte
+	// budget affords — the controller prices its window in codec bytes.
+	if int8r.Value("lookahead") <= fp32.Value("lookahead") {
+		t.Errorf("int8 lookahead %.0f not above fp32 %.0f at the same budget",
+			int8r.Value("lookahead"), fp32.Value("lookahead"))
+	}
+	if fp16.Value("lookahead") < fp32.Value("lookahead") {
+		t.Errorf("fp16 lookahead %.0f below fp32 %.0f at the same budget",
+			fp16.Value("lookahead"), fp32.Value("lookahead"))
+	}
+	for _, r := range rep.Rows {
+		if r.Value("write_MB/s") <= 0 || r.Value("read_MB/s") <= 0 {
+			t.Errorf("%s reports non-positive throughput", r.Label)
+		}
+	}
+}
+
 func TestReportFormat(t *testing.T) {
 	rep := &Report{ID: "x", Title: "T", Rows: []Row{{Label: "a", Values: map[string]float64{"m": 0.5}}}}
 	s := rep.Format([]string{"m", "missing"})

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"pbg/internal/rng"
+	"pbg/internal/storage"
+	"pbg/internal/train"
+)
+
+// CodecSweep measures the shard codec matrix: on-disk bytes per row and the
+// reduction factor against fp32, encode/decode throughput through the real
+// WriteShardCodec/ReadShard path, and the prefetch lookahead the same
+// memory budget affords under each codec (the controller prices its window
+// projections in codec bytes, so a smaller codec widens the window with no
+// other change). Every codec encodes the same randomly initialised shard
+// set, so the rows differ only in the codec. short trims the timing loop to
+// a single pass for CI.
+func CodecSweep(s Scale, short bool) (*Report, error) {
+	const parts = 8
+	g, err := socialGraph(s, parts, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "pbg-codec-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// One shard set, shared by every codec row.
+	r := rng.New(s.Seed)
+	var shards []*storage.Shard
+	var rows int
+	var fp32MB float64 // logical fp32 payload: the bytes every codec must represent
+	for t := range g.Schema.Entities {
+		for p := 0; p < g.Schema.Entities[t].NumPartitions; p++ {
+			sh := storage.NewShard(t, p, g.Schema.Entities[t].PartitionCount(p), s.Dim)
+			for i := range sh.Embs {
+				sh.Embs[i] = r.NormFloat32()
+			}
+			for i := range sh.Acc {
+				sh.Acc[i] = r.Float32()
+			}
+			shards = append(shards, sh)
+			rows += sh.Count
+			fp32MB += mb(int64(sh.Count) * int64(s.Dim+1) * 4)
+		}
+	}
+
+	// A budget sized in fp32 shards: fp32 can only afford a shallow prefetch
+	// window, while the 2–4× smaller codecs fit more shards — and therefore
+	// deeper lookahead — inside the identical byte budget.
+	budget := 4 * storage.ProjectedShardBytesCodec(g.Schema, s.Dim, 0, 0, storage.CodecFP32)
+
+	// Throughput loops are time-budgeted so fast codecs do not report noise.
+	minDuration := 200 * time.Millisecond
+	if short {
+		minDuration = 0
+	}
+	var fp32BytesPerRow float64
+	rep := &Report{
+		ID:    "codec",
+		Title: "shard codec sweep: size, throughput, lookahead at a fixed budget",
+	}
+	for _, codec := range storage.Codecs() {
+		paths := make([]string, len(shards))
+		for i, sh := range shards {
+			paths[i] = fmt.Sprintf("%s/shard_%s_t%d_p%d.pbg", dir, codec, sh.TypeIndex, sh.Part)
+		}
+		writePass := func() error {
+			for i, sh := range shards {
+				if err := storage.WriteShardCodec(paths[i], sh, codec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		start := time.Now()
+		passes := 0
+		for passes == 0 || time.Since(start) < minDuration {
+			if err := writePass(); err != nil {
+				return nil, err
+			}
+			passes++
+		}
+		writeMBs := fp32MB * float64(passes) / seconds(time.Since(start))
+
+		var diskBytes int64
+		for _, p := range paths {
+			fi, err := os.Stat(p)
+			if err != nil {
+				return nil, err
+			}
+			diskBytes += fi.Size()
+		}
+
+		start = time.Now()
+		passes = 0
+		for passes == 0 || time.Since(start) < minDuration {
+			for _, p := range paths {
+				if _, err := storage.ReadShard(p); err != nil {
+					return nil, err
+				}
+			}
+			passes++
+		}
+		readMBs := fp32MB * float64(passes) / seconds(time.Since(start))
+
+		// The lookahead this codec affords: train.New runs the controller's
+		// budget projection (initLookahead) before any epoch, so no training
+		// is needed to read the depth off.
+		tr, err := train.New(g, storage.NewMemStore(g.Schema, s.Dim, s.Seed+1, 1), train.Config{
+			Dim: s.Dim, Epochs: 1, Workers: 1, Seed: s.Seed,
+			Codec: codec.String(), MemBudgetBytes: budget,
+			Lookahead: 8, MaxLookahead: 8,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		bytesPerRow := float64(diskBytes) / float64(rows)
+		if codec == storage.CodecFP32 {
+			fp32BytesPerRow = bytesPerRow
+		}
+		rep.Rows = append(rep.Rows, Row{Label: codec.String(), Values: map[string]float64{
+			"bytes/row":  bytesPerRow,
+			"xfp32":      fp32BytesPerRow / bytesPerRow,
+			"shard_MB":   mb(diskBytes),
+			"write_MB/s": writeMBs,
+			"read_MB/s":  readMBs,
+			"lookahead":  float64(tr.Lookahead()),
+		}})
+	}
+	rep.Notes = fmt.Sprintf("%d rows, dim %d, %d shards; MB/s is fp32 payload processed per second; lookahead at the same %.2f MB budget (cap 8)",
+		rows, s.Dim, len(shards), mb(budget))
+	return rep, nil
+}

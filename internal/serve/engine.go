@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"pbg/internal/eval"
@@ -45,6 +46,9 @@ type TopKResult struct {
 	Scanned int
 	// Probed counts IVF lists visited (0 on the exact path).
 	Probed int
+	// Reranked counts candidates re-scored from fp32 after a quantized scan
+	// (0 when the scan itself was full precision).
+	Reranked int
 }
 
 // ScoreRequest asks for the model score of one (src, rel, dst) edge.
@@ -138,6 +142,7 @@ type workspace struct {
 	scratch vec.Matrix // candidate block copy (Prepare target)
 	scores  vec.Matrix // n×block cross-score output
 	heaps   []topkHeap
+	rr      topkHeap // fp32 re-rank selection after a quantized scan
 	probes  []probeCand
 	order   []int // request order within a group
 }
@@ -164,7 +169,7 @@ func (v *view) gatherQueries(ws *workspace, rel int, srcOf func(i int) (int32, [
 		if raw != nil {
 			copy(q.Row(i), raw)
 		} else {
-			copy(q.Row(i), v.ss.Row(srcType, id))
+			v.ss.CopyRow(srcType, id, q.Row(i))
 		}
 	}
 	tq := ensureMat(&ws.tq, n, dim)
@@ -191,6 +196,21 @@ func (v *view) scoreCandidateBlock(ws *workspace, rel int, tq vec.Matrix, rows v
 	return out
 }
 
+// scoreShardBlock is scoreCandidateBlock addressed by shard instead of by
+// fp32 matrix: rows [lo, lo+m) of shard (t, p) are filled into scratch at
+// whatever precision the shard holds (quantized cells dequantize through the
+// vec kernels during the fill), prepared, and cross-scored against tq.
+func (v *view) scoreShardBlock(ws *workspace, rel int, tq vec.Matrix, t, p, lo, m int, preferQuant bool) vec.Matrix {
+	dim := v.ss.dim
+	sc := v.scorers[rel]
+	scratch := ensureMat(&ws.scratch, m, dim)
+	v.ss.fillBlock(t, p, lo, m, scratch, preferQuant)
+	sc.Cmp.Prepare(scratch)
+	out := ensureMat(&ws.scores, tq.Rows, m)
+	sc.Cmp.CrossScores(out, tq, scratch)
+	return out
+}
+
 // topKExact runs the brute-force scan for a group of requests sharing one
 // relation: every destination-type partition, block by block, one GEMM per
 // (group, block). Results are written into out[i] for each group request.
@@ -209,17 +229,21 @@ func (v *view) topKExact(ws *workspace, rel int, reqs []TopKRequest, out []TopKR
 	}
 
 	dstType := v.dstType[rel]
+	if v.ss.QuantizedType(dstType) {
+		v.quantScanRerank(ws, rel, tq, reqs, out, heaps)
+		return
+	}
 	ent := &v.ss.schema.Entities[dstType]
 	scanned := 0
 	for p := 0; p < ent.NumPartitions; p++ {
-		rows := v.ss.Rows(dstType, p)
+		nrows := ent.PartitionCount(p)
 		base := int32(p * ent.PartSize())
-		for lo := 0; lo < rows.Rows; lo += scoreBlock {
-			m := rows.Rows - lo
+		for lo := 0; lo < nrows; lo += scoreBlock {
+			m := nrows - lo
 			if m > scoreBlock {
 				m = scoreBlock
 			}
-			scores := v.scoreCandidateBlock(ws, rel, tq, rows, lo, m)
+			scores := v.scoreShardBlock(ws, rel, tq, dstType, p, lo, m, false)
 			for i := 0; i < n; i++ {
 				row := scores.Row(i)
 				for j := 0; j < m; j++ {
@@ -232,6 +256,90 @@ func (v *view) topKExact(ws *workspace, rel int, reqs []TopKRequest, out []TopKR
 	for i := 0; i < n; i++ {
 		heaps[i].take(&out[i])
 		out[i].Scanned = scanned
+	}
+}
+
+// quantScanRerank is the quantized twin of the exact scan: every candidate
+// block dequantizes from the shard's compact cells (int8/fp16) into scratch,
+// so the fp32 working set of the scan is one scoreBlock — never the full
+// embedding table. When fp32 rows also exist (an fp32 checkpoint with
+// quantized sibling copies), each request keeps ceil(rerank·K) survivors
+// instead of K, re-scores just those rows from fp32, and returns the best K
+// by true score. On a natively quantized checkpoint there is no fp32 to
+// consult, so the dequantized scores are final — bit-identical to serving
+// the decoded checkpoint, since decoding is the same dequantization.
+func (v *view) quantScanRerank(ws *workspace, rel int, tq vec.Matrix, reqs []TopKRequest, out []TopKResult, heaps []topkHeap) {
+	n := len(reqs)
+	dstType := v.dstType[rel]
+	ent := &v.ss.schema.Entities[dstType]
+	rerank := v.ss.ExactType(dstType)
+	if rerank {
+		for i := range heaps {
+			kq := int(math.Ceil(float64(reqs[i].K) * v.rerank))
+			if kq < reqs[i].K {
+				kq = reqs[i].K
+			}
+			heaps[i].reset(kq)
+		}
+	}
+
+	scanned := 0
+	for p := 0; p < ent.NumPartitions; p++ {
+		nrows := ent.PartitionCount(p)
+		base := int32(p * ent.PartSize())
+		for lo := 0; lo < nrows; lo += scoreBlock {
+			m := nrows - lo
+			if m > scoreBlock {
+				m = scoreBlock
+			}
+			scores := v.scoreShardBlock(ws, rel, tq, dstType, p, lo, m, true)
+			for i := 0; i < n; i++ {
+				row := scores.Row(i)
+				for j := 0; j < m; j++ {
+					heaps[i].push(base+int32(lo+j), row[j])
+				}
+			}
+			scanned += m
+		}
+	}
+
+	if !rerank {
+		for i := 0; i < n; i++ {
+			heaps[i].take(&out[i])
+			out[i].Scanned = scanned
+		}
+		return
+	}
+
+	// fp32 re-rank: re-score each request's survivors at full precision and
+	// keep the true top K. Candidates are chunked through the same blocked
+	// GEMM as the scan.
+	dim := v.ss.dim
+	sc := v.scorers[rel]
+	for i := 0; i < n; i++ {
+		cands := heaps[i].h
+		qv := vec.MatrixFrom(tq.Row(i), 1, dim)
+		ws.rr.reset(reqs[i].K)
+		for lo := 0; lo < len(cands); lo += scoreBlock {
+			m := len(cands) - lo
+			if m > scoreBlock {
+				m = scoreBlock
+			}
+			scratch := ensureMat(&ws.scratch, m, dim)
+			for j := 0; j < m; j++ {
+				v.ss.CopyRow(dstType, cands[lo+j].id, scratch.Row(j))
+			}
+			sc.Cmp.Prepare(scratch)
+			scores := ensureMat(&ws.scores, 1, m)
+			sc.Cmp.CrossScores(scores, qv, scratch)
+			row := scores.Row(0)
+			for j := 0; j < m; j++ {
+				ws.rr.push(cands[lo+j].id, row[j])
+			}
+		}
+		ws.rr.take(&out[i])
+		out[i].Scanned = scanned
+		out[i].Reranked = len(cands)
 	}
 }
 
@@ -248,7 +356,7 @@ func (v *view) scorePairs(ws *workspace, rel int, reqs []ScoreRequest, out []flo
 	dstType := v.dstType[rel]
 	scratch := ensureMat(&ws.scratch, n, dim)
 	for i := 0; i < n; i++ {
-		copy(scratch.Row(i), v.ss.Row(dstType, reqs[i].Dst))
+		v.ss.CopyRow(dstType, reqs[i].Dst, scratch.Row(i))
 	}
 	sc.Cmp.Prepare(scratch)
 	sc.Cmp.PairScores(out, tq, scratch)
@@ -271,20 +379,20 @@ func (v *view) rank(ws *workspace, rel int, src, dst int32) (float64, error) {
 	// True score first, through the same block scorer (n=1 blocks take the
 	// vec.Dot tail path, so this is bitwise model.Scorer.Score).
 	dp := ent.PartitionOf(dst)
-	dlocal := ent.LocalOffset(dst)
-	trueScores := v.scoreCandidateBlock(ws, rel, tq, v.ss.Rows(dstType, dp), dlocal, 1)
+	dlocal := int(ent.LocalOffset(dst))
+	trueScores := v.scoreShardBlock(ws, rel, tq, dstType, dp, dlocal, 1, false)
 	trueScore := trueScores.Row(0)[0]
 
 	all := make([]float32, 0, ent.Count-1)
 	for p := 0; p < ent.NumPartitions; p++ {
-		rows := v.ss.Rows(dstType, p)
+		nrows := ent.PartitionCount(p)
 		base := int32(p * ent.PartSize())
-		for lo := 0; lo < rows.Rows; lo += scoreBlock {
-			m := rows.Rows - lo
+		for lo := 0; lo < nrows; lo += scoreBlock {
+			m := nrows - lo
 			if m > scoreBlock {
 				m = scoreBlock
 			}
-			scores := v.scoreCandidateBlock(ws, rel, tq, rows, lo, m)
+			scores := v.scoreShardBlock(ws, rel, tq, dstType, p, lo, m, false)
 			row := scores.Row(0)
 			for j := 0; j < m; j++ {
 				if base+int32(lo+j) == dst {

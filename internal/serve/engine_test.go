@@ -178,7 +178,7 @@ func TestConstantScorerEvalServeParity(t *testing.T) {
 		t.Fatalf("oracle rank = %v, want %v", or, wantRank)
 	}
 
-	ss, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim, serve.ModeAuto)
+	ss, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim, serve.ModeAuto, serve.QuantAuto)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pbg/internal/storage"
+)
+
+// mkQuantShardBytes builds a syntactically valid v2 (quantized) shard file
+// image: 28-byte header, then for int8 count×4 scale bytes, then the
+// codec-width embedding cells, then count×4 accumulator bytes.
+func mkQuantShardBytes(codec storage.Codec, typeIdx, part, count, dim uint32) []byte {
+	cellBytes := uint32(2)
+	scaleBytes := uint32(0)
+	if codec == storage.CodecInt8 {
+		cellBytes = 1
+		scaleBytes = count * 4
+	}
+	b := make([]byte, 0, headerBytesV2+int(scaleBytes+count*dim*cellBytes+count*4))
+	var w [4]byte
+	push := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:], v)
+		b = append(b, w[:]...)
+	}
+	push(shardMagic)
+	push(shardVersionQ)
+	push(uint32(codec))
+	push(typeIdx)
+	push(part)
+	push(count)
+	push(dim)
+	for i := uint32(0); i < scaleBytes/4; i++ {
+		push(math.Float32bits(1 + float32(i)*0.25))
+	}
+	for i := uint32(0); i < count*dim*cellBytes; i++ {
+		b = append(b, byte(i*37))
+	}
+	for i := uint32(0); i < count; i++ {
+		push(math.Float32bits(float32(i) * 0.5))
+	}
+	return b
+}
+
+// FuzzQuantShardHeader is FuzzShardHeader's v2 twin: arbitrary bytes
+// against the quantized header path. parseShardLayout must reject anything
+// malformed with an error — never panic — and any accepted layout must tile
+// the file exactly, so the zero-copy quantized views built from it can
+// never read out of range. Accepted inputs round-trip through both the
+// serve open path (quantized views, then a full dequantizing fill) and the
+// storage decoder.
+func FuzzQuantShardHeader(f *testing.F) {
+	f.Add(mkQuantShardBytes(storage.CodecFP16, 0, 0, 3, 4))
+	f.Add(mkQuantShardBytes(storage.CodecInt8, 0, 0, 3, 4))
+	f.Add(mkQuantShardBytes(storage.CodecFP16, 1, 2, 0, 0))
+	f.Add(mkQuantShardBytes(storage.CodecInt8, 0, 1, 1, 7))
+	f.Add(mkQuantShardBytes(storage.CodecFP16, 0, 0, 3, 4)[:headerBytesV2-1]) // truncated header
+	f.Add(mkQuantShardBytes(storage.CodecInt8, 0, 0, 3, 4)[:headerBytesV2+5]) // truncated body
+	badCodec := mkQuantShardBytes(storage.CodecFP16, 0, 0, 3, 4)
+	binary.LittleEndian.PutUint32(badCodec[8:], 3) // no such codec
+	f.Add(badCodec)
+	fp32v2 := mkQuantShardBytes(storage.CodecFP16, 0, 0, 3, 4)
+	binary.LittleEndian.PutUint32(fp32v2[8:], 0) // fp32 must not ride v2
+	f.Add(fp32v2)
+	huge := mkQuantShardBytes(storage.CodecInt8, 0, 0, 3, 4)
+	binary.LittleEndian.PutUint32(huge[20:], 0xffffffff) // absurd count
+	f.Add(huge)
+
+	dir := f.TempDir()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := parseShardLayout(data, int64(len(data)))
+		if err != nil {
+			return
+		}
+		if l.DataOff+l.ScaleBytes+l.EmbBytes+int64(l.Count)*4 != int64(len(data)) {
+			t.Fatalf("accepted layout %+v does not account for %d file bytes", l, len(data))
+		}
+		path := filepath.Join(dir, "fuzz.pbg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Serve open path: quantized views over the accepted layout, then a
+		// full dequantizing read of every row — any over-read would fault or
+		// trip the race/asan layers here.
+		sr, err := openShard(path, "", l.TypeIndex, l.Part, l.Dim, ModeAuto, QuantAuto)
+		if err == nil {
+			if sr.count != l.Count || sr.dim != l.Dim {
+				sr.close()
+				t.Fatalf("open path decoded %dx%d, header says %dx%d", sr.count, sr.dim, l.Count, l.Dim)
+			}
+			if l.Count > 0 && l.Dim > 0 {
+				row := make([]float32, l.Dim)
+				for r := 0; r < l.Count; r++ {
+					sr.copyRow(row, r)
+				}
+			}
+			sr.close()
+		}
+		// Storage decoder on the same bytes: error or success, never panic.
+		if sh, err := storage.ReadShard(path); err == nil {
+			if sh.Count != l.Count || sh.Dim != l.Dim {
+				t.Fatalf("storage decoded %dx%d, header says %dx%d", sh.Count, sh.Dim, l.Count, l.Dim)
+			}
+		}
+	})
+}

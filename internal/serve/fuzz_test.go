@@ -55,10 +55,17 @@ func FuzzShardHeader(f *testing.F) {
 			return // rejection is the expected outcome for junk
 		}
 		// Accepted: the declared geometry must tile the file exactly.
-		if int64(headerBytes)+l.EmbBytes+int64(l.Count)*4 != int64(len(data)) {
+		if l.DataOff+l.ScaleBytes+l.EmbBytes+int64(l.Count)*4 != int64(len(data)) {
 			t.Fatalf("accepted layout %+v does not account for %d file bytes", l, len(data))
 		}
-		if l.EmbBytes != int64(l.Count)*int64(l.Dim)*4 {
+		wantEmb := int64(l.Count) * int64(l.Dim) * 4
+		switch l.Codec {
+		case storage.CodecFP16:
+			wantEmb = int64(l.Count) * int64(l.Dim) * 2
+		case storage.CodecInt8:
+			wantEmb = int64(l.Count) * int64(l.Dim)
+		}
+		if l.EmbBytes != wantEmb {
 			t.Fatalf("accepted layout %+v has inconsistent EmbBytes", l)
 		}
 		// Round-trip through the real open path (mmap where available,
@@ -68,13 +75,13 @@ func FuzzShardHeader(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		sr, err := openShard(path, l.TypeIndex, l.Part, l.Dim, ModeAuto)
+		sr, err := openShard(path, "", l.TypeIndex, l.Part, l.Dim, ModeAuto, QuantAuto)
 		if err != nil {
 			return
 		}
 		defer sr.close()
-		if sr.rows.Rows != l.Count || sr.rows.Cols != l.Dim {
-			t.Fatalf("open path decoded %dx%d, header says %dx%d", sr.rows.Rows, sr.rows.Cols, l.Count, l.Dim)
+		if sr.count != l.Count || sr.dim != l.Dim {
+			t.Fatalf("open path decoded %dx%d, header says %dx%d", sr.count, sr.dim, l.Count, l.Dim)
 		}
 	})
 }

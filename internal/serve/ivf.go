@@ -87,7 +87,9 @@ func BuildIVF(ss *ShardSet, cfg IVFConfig) *IVF {
 		ent := &ss.schema.Entities[t]
 		it := &ivfType{Parts: make([]ivfPart, ent.NumPartitions)}
 		for p := 0; p < ent.NumPartitions; p++ {
-			rows := ss.Rows(t, p)
+			// MaterializeRows: on a quantized-only shard, clustering runs over
+			// a dequantized fp32 copy (freed after the build).
+			rows := ss.MaterializeRows(t, p)
 			r := rng.New(cfg.Seed ^ uint64(t)<<32 ^ uint64(p)<<8 ^ 0x9e3779b97f4a7c15)
 			it.Parts[p] = buildPart(rows, cfg, r)
 			it.Lists += len(it.Parts[p].Lists)
@@ -235,7 +237,6 @@ func (v *view) topKIVF(ws *workspace, rel int, reqs []TopKRequest, out []TopKRes
 			part := &it.Parts[pc.part]
 			ids := part.Lists[pc.list]
 			base := int32(pc.part * ent.PartSize())
-			rows := v.ss.Rows(dstType, pc.part)
 			for lo := 0; lo < len(ids); lo += scoreBlock {
 				m := len(ids) - lo
 				if m > scoreBlock {
@@ -243,7 +244,7 @@ func (v *view) topKIVF(ws *workspace, rel int, reqs []TopKRequest, out []TopKRes
 				}
 				scratch := ensureMat(&ws.scratch, m, v.ss.dim)
 				for j := 0; j < m; j++ {
-					copy(scratch.Row(j), rows.Row(int(ids[lo+j])))
+					v.ss.copyLocalRow(dstType, pc.part, int(ids[lo+j]), scratch.Row(j))
 				}
 				sc := v.scorers[rel]
 				sc.Cmp.Prepare(scratch)

@@ -29,12 +29,26 @@ type Config struct {
 	// Mode selects the shard read path (default ModeAuto: mmap where
 	// available).
 	Mode Mode
+	// Quant selects the quantized-scan path (default QuantAuto: scan
+	// int8/fp16 bytes whenever the checkpoint, or a sibling copy written by
+	// BuildQuant, provides them; re-rank from fp32 when available).
+	Quant QuantMode
+	// Rerank is the quantized-scan oversampling factor α: a K-request keeps
+	// ceil(α·K) quantized-scan survivors and re-scores those from fp32.
+	// 0 means the default 3; values below 1 are clamped to 1 (no margin).
+	Rerank float64
 	// NProbe is the default IVF probe width (0 = DefaultNProbe of the
 	// destination type's list count).
 	NProbe int
 	// Obs receives serving metrics; nil installs a quiet hub.
 	Obs *obs.Hub
 }
+
+// DefaultRerank is the quantized-scan oversampling factor used when
+// Config.Rerank is 0. 3× is comfortably above the margin int8 error needs:
+// the parity matrix pins recall@10 ≥ 0.95 against the fp32 oracle at this
+// setting.
+const DefaultRerank = 3.0
 
 // view is one immutable serving snapshot: shards, relation parameters,
 // scorers, and (optionally) an IVF index. Requests acquire a reference for
@@ -55,6 +69,7 @@ type view struct {
 	srcType []int       // source entity-type index per relation
 	dstType []int       // destination entity-type index per relation
 	nprobe  int         // resolved default probe width
+	rerank  float64     // resolved quantized-scan oversampling factor
 }
 
 // tryAcquire takes a reference unless the view is already drained.
@@ -101,10 +116,14 @@ type metrics struct {
 	stagePlan *obs.Histogram // gather + transform + prepare
 	stageScan *obs.Histogram // candidate scoring (exact or probe)
 
+	rowsReranked *obs.Counter
+
 	mappedBytes  *obs.Gauge
 	mappedShards *obs.Gauge
 	indexBytes   *obs.Gauge
 	indexLists   *obs.Gauge
+	quantBytes   *obs.Gauge
+	quantShards  *obs.Gauge
 }
 
 func bindMetrics(reg *obs.Registry) *metrics {
@@ -121,10 +140,13 @@ func bindMetrics(reg *obs.Registry) *metrics {
 		latScore:     reg.Histogram(`pbg_serve_latency_s{api="score"}`),
 		stagePlan:    reg.Histogram(`pbg_serve_stage_s{stage="plan"}`),
 		stageScan:    reg.Histogram(`pbg_serve_stage_s{stage="scan"}`),
+		rowsReranked: reg.Counter(`pbg_serve_rows_reranked_total`),
 		mappedBytes:  reg.Gauge(`pbg_serve_mapped_bytes`),
 		mappedShards: reg.Gauge(`pbg_serve_mapped_shards`),
 		indexBytes:   reg.Gauge(`pbg_serve_index_bytes`),
 		indexLists:   reg.Gauge(`pbg_serve_index_lists`),
+		quantBytes:   reg.Gauge(`pbg_serve_quant_bytes`),
+		quantShards:  reg.Gauge(`pbg_serve_quant_shards`),
 	}
 }
 
@@ -164,11 +186,17 @@ func Open(dir string, cfg Config) (*Server, error) {
 // loadView opens shards, relation parameters and (if present) the index
 // into a fresh view. Nothing is visible to readers until install.
 func (s *Server) loadView(dir string) (*view, error) {
-	ss, err := OpenShardSet(dir, s.cfg.Schema, s.cfg.Dim, s.cfg.Mode)
+	ss, err := OpenShardSet(dir, s.cfg.Schema, s.cfg.Dim, s.cfg.Mode, s.cfg.Quant)
 	if err != nil {
 		return nil, err
 	}
-	v := &view{ss: ss}
+	v := &view{ss: ss, rerank: s.cfg.Rerank}
+	if v.rerank == 0 {
+		v.rerank = DefaultRerank
+	}
+	if v.rerank < 1 {
+		v.rerank = 1
+	}
 	schema := s.cfg.Schema
 	nrel := len(schema.Relations)
 	v.scorers = make([]*model.Scorer, nrel)
@@ -242,6 +270,8 @@ func (s *Server) install(v *view) {
 func (s *Server) publishGauges(v *view) {
 	s.met.mappedBytes.Set(v.ss.Bytes())
 	s.met.mappedShards.Set(int64(v.ss.MappedShards()))
+	s.met.quantBytes.Set(v.ss.QuantBytes())
+	s.met.quantShards.Set(int64(v.ss.QuantShards()))
 	if v.ivf != nil {
 		s.met.indexBytes.Set(v.ivf.Bytes())
 		lists := 0
@@ -312,6 +342,18 @@ func (s *Server) BuildIndex(cfg IVFConfig) error {
 		return err
 	}
 	return s.Reload(s.dir)
+}
+
+// BuildQuant writes quantized sibling copies (storage.QuantShardPath) of
+// every fp32 shard in the served checkpoint under codec c, then hot-swaps a
+// view that scans them: subsequent TopK calls run the quantized-scan +
+// fp32-re-rank path. Serving continues on the old view throughout.
+func (s *Server) BuildQuant(c storage.Codec) error {
+	dir := s.Dir()
+	if err := storage.WriteQuantCopy(dir, s.cfg.Schema, c); err != nil {
+		return err
+	}
+	return s.Reload(dir)
 }
 
 // HasIndex reports whether the current view serves through an IVF index.
@@ -428,6 +470,7 @@ func (s *Server) TopK(reqs []TopKRequest) ([]TopKResult, error) {
 			out[i] = gout[j]
 			s.met.rowsScored.Add(int64(gout[j].Scanned))
 			s.met.listsProbed.Add(int64(gout[j].Probed))
+			s.met.rowsReranked.Add(int64(gout[j].Reranked))
 		}
 	}
 	now := time.Now()
@@ -530,6 +573,12 @@ type Stats struct {
 	IndexBytes   int64
 	IndexLists   int
 	Requests     int64
+	// QuantCodec names the quantized scan codec ("" when scans are fp32).
+	QuantCodec string
+	// QuantBytes is the quantized payload footprint; QuantShards counts
+	// shards with a quantized scan view.
+	QuantBytes  int64
+	QuantShards int
 }
 
 // Stats reports the current view's footprint.
@@ -545,6 +594,11 @@ func (s *Server) Stats() (Stats, error) {
 		MappedBytes:  v.ss.Bytes(),
 		HasIndex:     v.ivf != nil,
 		Requests:     s.met.reqTopK.Value() + s.met.reqScore.Value() + s.met.reqRank.Value(),
+		QuantBytes:   v.ss.QuantBytes(),
+		QuantShards:  v.ss.QuantShards(),
+	}
+	if v.ss.QuantShards() > 0 {
+		st.QuantCodec = v.ss.QuantCodec().String()
 	}
 	if v.ivf != nil {
 		st.IndexBytes = v.ivf.Bytes()

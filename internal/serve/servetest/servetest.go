@@ -188,6 +188,116 @@ func writeZeroCheckpoint(dir string, g *graph.Graph, cfg FixtureConfig) error {
 	return storage.WriteRelations(dir+"/relations.pbg", rs)
 }
 
+// CheckpointAs re-encodes the fixture checkpoint through codec into a
+// fresh directory (shards via storage.WriteShardCodec, relation state
+// copied verbatim) and returns it. The directory is cleaned up with the
+// shared fixtures. CodecFP32 yields a plain v1 copy — the baseline of the
+// codec parity matrix.
+func (f *Fixture) CheckpointAs(tb testing.TB, codec storage.Codec) string {
+	tb.Helper()
+	dir, err := os.MkdirTemp("", "servetest-codec-")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	registerDir(dir)
+	for t := range f.Graph.Schema.Entities {
+		ent := &f.Graph.Schema.Entities[t]
+		for p := 0; p < ent.NumPartitions; p++ {
+			sh, err := storage.ReadShard(storage.ShardPath(f.Dir, t, p))
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if err := storage.WriteShardCodec(storage.ShardPath(dir, t, p), sh, codec); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	copyRelations(tb, f.Dir, dir)
+	return dir
+}
+
+// QuantSiblings copies the fixture checkpoint into a fresh directory and
+// writes quantized .q.pbg sibling copies under codec next to the fp32
+// shards — the quantized-scan + fp32-re-rank layout. The fixture's own
+// directory is shared across tests and never mutated.
+func (f *Fixture) QuantSiblings(tb testing.TB, codec storage.Codec) string {
+	tb.Helper()
+	dir, err := os.MkdirTemp("", "servetest-quant-")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	registerDir(dir)
+	entries, err := os.ReadDir(f.Dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(f.Dir + "/" + e.Name())
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := os.WriteFile(dir+"/"+e.Name(), data, 0o644); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := storage.WriteQuantCopy(dir, f.Graph.Schema, codec); err != nil {
+		tb.Fatal(err)
+	}
+	return dir
+}
+
+func registerDir(dir string) {
+	fixturesMu.Lock()
+	fixtureDirs = append(fixtureDirs, dir)
+	fixturesMu.Unlock()
+}
+
+func copyRelations(tb testing.TB, src, dst string) {
+	tb.Helper()
+	data, err := os.ReadFile(src + "/relations.pbg")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(dst+"/relations.pbg", data, 0o644); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// EvalMRR loads dir through the storage codec (so quantized checkpoints are
+// evaluated on their decoded values) and runs the offline ranker over the
+// fixture's own edges against all candidates. The returned MRR is the
+// pinning currency of the codec parity matrix: re-encoding the checkpoint
+// through a codec may move it only within that codec's documented bound.
+func (f *Fixture) EvalMRR(tb testing.TB, dir string) float64 {
+	tb.Helper()
+	o, err := loadOracle(dir, f.Graph.Schema, f.Cfg.Dim, f.Cfg.Comparator)
+	if err != nil {
+		tb.Fatalf("servetest: loading oracle for %s: %v", dir, err)
+	}
+	rk := eval.NewRanker(f.Graph.Schema, o, o, f.Cfg.Dim, nil)
+	m, err := rk.Evaluate(f.Graph.Edges, eval.Config{Mode: eval.CandidatesAll, MaxEdges: 300, Seed: 1})
+	if err != nil {
+		tb.Fatalf("servetest: evaluating %s: %v", dir, err)
+	}
+	return m.MRR
+}
+
+// Embedding implements eval.EmbeddingSource over the oracle's embeddings.
+// The ranker reads through out, so the row is copied, not aliased.
+func (o *Oracle) Embedding(typeIdx int, id int32, out []float32) ([]float32, error) {
+	copy(out, o.embs[typeIdx].Row(int(id)))
+	return out, nil
+}
+
+// Scorer implements eval.ScorerSource.
+func (o *Oracle) Scorer(rel int) *model.Scorer { return o.scorers[rel] }
+
+// RelParams implements eval.ScorerSource.
+func (o *Oracle) RelParams(rel int) []float32 { return o.params[rel] }
+
 // ServerConfig returns the serve.Config matching the fixture's training
 // run.
 func (f *Fixture) ServerConfig(mode serve.Mode) serve.Config {

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 
 	"pbg/internal/graph"
@@ -10,15 +11,28 @@ import (
 	"pbg/internal/vec"
 )
 
-// Shard file layout (written by storage.WriteShard): a 24-byte header of six
-// little-endian uint32s — magic "PBGS", version, entity-type index,
-// partition, row count, dim — then count×dim float32 embeddings, then count
-// float32 Adagrad accumulators. The serving layer maps only the embedding
-// block; the accumulator tail is training state and never touched here.
+// Shard file layouts the serving layer reads directly:
+//
+// v1 (storage.WriteShard): a 24-byte header of six little-endian uint32s —
+// magic "PBGS", version 1, entity-type index, partition, row count, dim —
+// then count×dim float32 embeddings, then count float32 Adagrad
+// accumulators.
+//
+// v2 (storage.WriteShardCodec, quantized): a 28-byte header that inserts a
+// codec word after the version — magic, version 2, codec, type, partition,
+// count, dim — then the codec payload (fp16: count×dim uint16; int8: count
+// float32 row scales then count×dim int8 cells), then the fp32 accumulator
+// block. Payload offsets are aligned for zero-copy views (see storage's v2
+// format note).
+//
+// The serving layer never touches the accumulator tail — it is training
+// state.
 const (
-	shardMagic   = 0x50424753 // "PBGS", must match storage.go
-	shardVersion = 1
-	headerBytes  = 24
+	shardMagic    = 0x50424753 // "PBGS", must match storage.go
+	shardVersion  = 1
+	shardVersionQ = 2
+	headerBytes   = 24
+	headerBytesV2 = 28
 )
 
 // shardLayout is the validated geometry of one shard file.
@@ -27,16 +41,24 @@ type shardLayout struct {
 	Part      int
 	Count     int
 	Dim       int
+	// Codec is the embedding block's encoding (CodecFP32 for v1 files).
+	Codec storage.Codec
+	// DataOff is the offset of the first payload block: headerBytes for v1,
+	// headerBytesV2 for v2.
+	DataOff int64
+	// ScaleBytes is the byte length of the int8 per-row scale block at
+	// DataOff (0 for other codecs).
+	ScaleBytes int64
 	// EmbBytes is the byte length of the embedding block, which starts at
-	// offset headerBytes.
+	// DataOff+ScaleBytes, in codec element width.
 	EmbBytes int64
 }
 
 // parseShardLayout validates a shard header against the file size and
-// returns the layout. It is the single bounds gate for the mmap path —
-// every offset the reader later dereferences is proven in-range here —
-// and is the target of FuzzShardHeader: malformed input must error, never
-// panic or imply an out-of-range access.
+// returns the layout. It is the single bounds gate for the zero-copy read
+// paths — every offset the reader later dereferences is proven in-range
+// here — and is the target of FuzzShardHeader and FuzzQuantShardHeader:
+// malformed input must error, never panic or imply an out-of-range access.
 func parseShardLayout(hdr []byte, fileSize int64) (shardLayout, error) {
 	var l shardLayout
 	if len(hdr) < headerBytes {
@@ -46,13 +68,30 @@ func parseShardLayout(hdr []byte, fileSize int64) (shardLayout, error) {
 	if magic != shardMagic {
 		return l, fmt.Errorf("serve: bad shard magic 0x%08x", magic)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardVersion {
-		return l, fmt.Errorf("serve: unsupported shard version %d", v)
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	geom := hdr[8:]
+	switch version {
+	case shardVersion:
+		l.Codec = storage.CodecFP32
+		l.DataOff = headerBytes
+	case shardVersionQ:
+		if len(hdr) < headerBytesV2 {
+			return l, fmt.Errorf("serve: v2 shard header truncated: %d bytes, want %d", len(hdr), headerBytesV2)
+		}
+		codec := binary.LittleEndian.Uint32(hdr[8:])
+		if c := storage.Codec(codec); codec > 255 || (c != storage.CodecFP16 && c != storage.CodecInt8) {
+			return l, fmt.Errorf("serve: bad v2 shard codec %d", codec)
+		}
+		l.Codec = storage.Codec(codec)
+		l.DataOff = headerBytesV2
+		geom = hdr[12:]
+	default:
+		return l, fmt.Errorf("serve: unsupported shard version %d", version)
 	}
-	typeIndex := binary.LittleEndian.Uint32(hdr[8:])
-	part := binary.LittleEndian.Uint32(hdr[12:])
-	count := binary.LittleEndian.Uint32(hdr[16:])
-	dim := binary.LittleEndian.Uint32(hdr[20:])
+	typeIndex := binary.LittleEndian.Uint32(geom[0:])
+	part := binary.LittleEndian.Uint32(geom[4:])
+	count := binary.LittleEndian.Uint32(geom[8:])
+	dim := binary.LittleEndian.Uint32(geom[12:])
 	const maxI32 = 1<<31 - 1
 	if typeIndex > maxI32 || part > maxI32 || count > maxI32 || dim > maxI32 {
 		return l, fmt.Errorf("serve: shard header field out of range (type %d part %d count %d dim %d)", typeIndex, part, count, dim)
@@ -66,71 +105,134 @@ func parseShardLayout(hdr []byte, fileSize int64) (shardLayout, error) {
 	if d > 0 && c > (1<<59)/d {
 		return l, fmt.Errorf("serve: shard geometry overflows (count %d dim %d)", count, dim)
 	}
-	embBytes := c * d * 4
+	switch l.Codec {
+	case storage.CodecFP16:
+		l.EmbBytes = c * d * 2
+	case storage.CodecInt8:
+		l.ScaleBytes = c * 4
+		l.EmbBytes = c * d
+	default:
+		l.EmbBytes = c * d * 4
+	}
 	accBytes := c * 4
-	want := int64(headerBytes) + embBytes + accBytes
+	want := l.DataOff + l.ScaleBytes + l.EmbBytes + accBytes
 	if fileSize != want {
-		return l, fmt.Errorf("serve: shard file size %d does not match header (want %d for count %d dim %d)", fileSize, want, count, dim)
+		return l, fmt.Errorf("serve: shard file size %d does not match header (want %d for count %d dim %d codec %v)", fileSize, want, count, dim, l.Codec)
 	}
-	l = shardLayout{
-		TypeIndex: int(typeIndex),
-		Part:      int(part),
-		Count:     int(count),
-		Dim:       int(dim),
-		EmbBytes:  embBytes,
-	}
+	l.TypeIndex = int(typeIndex)
+	l.Part = int(part)
+	l.Count = int(count)
+	l.Dim = int(dim)
 	return l, nil
 }
 
-// shardRows is one open shard: a count×dim read-only matrix of embedding
-// rows, either a zero-copy view into an mmap region or codec-decoded
-// private memory.
+// shardRows is one open shard: an optional count×dim read-only fp32 matrix
+// (zero-copy mmap view or codec-decoded private memory) and/or a quantized
+// view of the same rows. A v1 shard has fp32 only; a native v2 shard has
+// quant only; a v1 shard with a .q.pbg sibling has both — the engine scans
+// the quantized copy and re-ranks from fp32.
 type shardRows struct {
-	rows    vec.Matrix
-	mapped  *mapping // nil on the codec path
-	mmapped bool
+	rows    vec.Matrix // fp32 rows; valid iff fp32 is true
+	fp32    bool
+	quant   *quantRows
+	mapped  *mapping // primary file mapping (nil on private-memory paths)
+	qmapped *mapping // sibling quant file mapping, when distinct
+	mmapped bool     // primary file is on the zero-copy path
+	count   int
+	dim     int
 }
 
 func (s *shardRows) close() error {
-	if s.mapped != nil {
-		m := s.mapped
-		s.mapped = nil
-		s.rows = vec.Matrix{}
-		return m.close()
+	var first error
+	for _, m := range []*mapping{s.mapped, s.qmapped} {
+		if m != nil {
+			if err := m.close(); err != nil && first == nil {
+				first = err
+			}
+		}
 	}
+	s.mapped, s.qmapped = nil, nil
 	s.rows = vec.Matrix{}
-	return nil
+	s.quant = nil
+	return first
 }
 
-// openShard opens one shard file under mode and validates that its header
-// matches the expected (typeIdx, part, dim) from the schema.
-func openShard(path string, typeIdx, part, dim int, mode Mode) (*shardRows, error) {
-	useMmap := mode == ModeMmap || (mode == ModeAuto && mmapSupported)
-	if mode == ModeMmap && !mmapSupported {
-		return nil, fmt.Errorf("serve: mmap mode requested but unsupported on this platform")
+// copyRow copies local row r into dst at the best available precision:
+// fp32 when present, dequantized otherwise.
+func (s *shardRows) copyRow(dst []float32, r int) {
+	if s.fp32 {
+		copy(dst, s.rows.Row(r))
+		return
 	}
-	var sr *shardRows
-	var err error
-	if useMmap {
-		sr, err = openShardMmap(path)
-	} else {
-		sr, err = openShardCodec(path)
+	s.quant.copyRow(dst, r)
+}
+
+// fillBlock copies rows [lo, lo+m) into the first m rows of dst. With
+// preferQuant the quantized view is used when attached (the scan path);
+// otherwise fp32 wins and quant is the fallback for quant-only shards.
+func (s *shardRows) fillBlock(dst vec.Matrix, lo, m int, preferQuant bool) {
+	if s.quant != nil && (preferQuant || !s.fp32) {
+		s.quant.fill(dst, lo, m)
+		return
 	}
+	for j := 0; j < m; j++ {
+		copy(dst.Row(j), s.rows.Row(lo+j))
+	}
+}
+
+// openShard opens the shard file for (typeIdx, part) plus, when quant
+// serving is on and the shard is fp32, its quantized sibling copy (if one
+// exists), and validates the geometry against the schema's expectations.
+func openShard(path, qpath string, typeIdx, part, dim int, mode Mode, quant QuantMode) (*shardRows, error) {
+	sr, err := openShardFile(path, mode, quant)
 	if err != nil {
 		return nil, err
 	}
-	if sr.rows.Cols != dim {
-		c := sr.rows.Cols
+	if sr.dim != dim {
+		d := sr.dim
 		sr.close()
-		return nil, fmt.Errorf("serve: shard %s has dim %d, server configured for %d", path, c, dim)
+		return nil, fmt.Errorf("serve: shard %s has dim %d, server configured for %d", path, d, dim)
+	}
+	if quant != QuantOff && sr.fp32 && qpath != "" {
+		if _, statErr := os.Stat(qpath); statErr == nil {
+			qr, err := openShardFile(qpath, mode, quant)
+			if err != nil {
+				sr.close()
+				return nil, err
+			}
+			if qr.quant == nil || qr.count != sr.count || qr.dim != sr.dim {
+				qr.close()
+				sr.close()
+				return nil, fmt.Errorf("serve: quant sibling %s does not match shard %s (want a %dx%d quantized copy)", qpath, path, sr.count, sr.dim)
+			}
+			sr.quant = qr.quant
+			sr.qmapped = qr.mapped
+		}
 	}
 	return sr, nil
 }
 
-// openShardMmap maps the file and returns a zero-copy view of the embedding
-// block. The mapping is PROT_READ: any write through a row slice faults,
-// which is the point — serving can never corrupt a checkpoint.
-func openShardMmap(path string) (*shardRows, error) {
+// openShardFile opens one physical shard file under mode. v1 files yield
+// fp32 rows (zero-copy when mapped). v2 files yield a quantized view —
+// unless quant is off, in which case they are decoded to fp32 in private
+// memory so full-precision serving still works against a quantized
+// checkpoint.
+func openShardFile(path string, mode Mode, quant QuantMode) (*shardRows, error) {
+	useMmap := mode == ModeMmap || (mode == ModeAuto && mmapSupported)
+	if mode == ModeMmap && !mmapSupported {
+		return nil, fmt.Errorf("serve: mmap mode requested but unsupported on this platform")
+	}
+	if useMmap {
+		return openShardMmap(path, quant)
+	}
+	return openShardCodec(path, quant)
+}
+
+// openShardMmap maps the file and returns zero-copy views: the fp32
+// embedding block of a v1 file, or the quantized payload of a v2 file. The
+// mapping is PROT_READ: any write through a row slice faults, which is the
+// point — serving can never corrupt a checkpoint.
+func openShardMmap(path string, quant QuantMode) (*shardRows, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -150,29 +252,97 @@ func openShardMmap(path string) (*shardRows, error) {
 		m.close()
 		return nil, fmt.Errorf("%w (%s)", err, path)
 	}
-	embs, err := floatView(b[headerBytes : int64(headerBytes)+l.EmbBytes])
+	if l.Codec != storage.CodecFP32 {
+		if quant == QuantOff {
+			// Full-precision serving requested: decode privately instead.
+			m.close()
+			return openShardDecode(path)
+		}
+		q, err := quantViews(b, l)
+		if err != nil {
+			m.close()
+			return nil, fmt.Errorf("serve: %s: %w", path, err)
+		}
+		return &shardRows{quant: q, mapped: m, mmapped: true, count: l.Count, dim: l.Dim}, nil
+	}
+	embs, err := floatView(b[l.DataOff : l.DataOff+l.EmbBytes])
 	if err != nil {
 		m.close()
 		return nil, fmt.Errorf("serve: %s: %w", path, err)
 	}
 	return &shardRows{
 		rows:    vec.MatrixFrom(embs, l.Count, l.Dim),
+		fp32:    true,
 		mapped:  m,
 		mmapped: true,
+		count:   l.Count,
+		dim:     l.Dim,
 	}, nil
 }
 
-// openShardCodec reads the shard through the trainer's storage codec. The
-// parity test pins that rows from this path are bit-identical to the mmap
-// view: both decode the same little-endian float32 block.
-func openShardCodec(path string) (*shardRows, error) {
+// openShardCodec reads the shard without mmap. v1 files stream through
+// storage.ReadShard into fp32 private memory (the parity test pins that
+// rows from this path are bit-identical to the mmap view). v2 files are
+// read whole and served through quantized views over the private buffer —
+// the same scan path as mmap, minus the shared page cache — unless quant is
+// off, which decodes them to fp32.
+func openShardCodec(path string, quant QuantMode) (*shardRows, error) {
+	version, err := peekShardVersion(path)
+	if err != nil {
+		return nil, err
+	}
+	if version == shardVersion || quant == QuantOff {
+		return openShardDecode(path)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	l, err := parseShardLayout(b, int64(len(b)))
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	if l.Codec == storage.CodecFP32 {
+		return openShardDecode(path)
+	}
+	q, err := quantViews(b, l)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", path, err)
+	}
+	return &shardRows{quant: q, count: l.Count, dim: l.Dim}, nil
+}
+
+// openShardDecode loads any shard version through the storage codec into
+// private fp32 memory.
+func openShardDecode(path string) (*shardRows, error) {
 	sh, err := storage.ReadShard(path)
 	if err != nil {
 		return nil, err
 	}
 	return &shardRows{
-		rows: vec.MatrixFrom(sh.Embs, sh.Count, sh.Dim),
+		rows:  vec.MatrixFrom(sh.Embs, sh.Count, sh.Dim),
+		fp32:  true,
+		count: sh.Count,
+		dim:   sh.Dim,
 	}, nil
+}
+
+// peekShardVersion reads just enough header to dispatch the codec read path
+// without pulling a large v1 file into one buffer.
+func peekShardVersion(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("serve: shard header %s: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != shardMagic {
+		return 0, fmt.Errorf("serve: %s is not a shard file", path)
+	}
+	return binary.LittleEndian.Uint32(hdr[4:]), nil
 }
 
 // ShardSet is a read-only view over every shard of a checkpoint directory.
@@ -183,29 +353,43 @@ type ShardSet struct {
 	schema *graph.Schema
 	dim    int
 	shards []map[int]*shardRows // per entity type: partition → rows
-	mapped int
-	bytes  int64
-	closed bool
+	// exactType[t] / quantType[t]: every partition of type t has fp32 /
+	// quantized rows. The engine quant-scans a destination type only when
+	// quantType holds for it, and re-ranks only when exactType also holds.
+	exactType  []bool
+	quantType  []bool
+	quantCodec storage.Codec
+	mapped     int
+	quantN     int
+	bytes      int64
+	qbytes     int64
+	closed     bool
 }
 
 // OpenShardSet opens every (entity type, partition) shard of the checkpoint
-// under dir, validating each header against the schema geometry.
-func OpenShardSet(dir string, schema *graph.Schema, dim int, mode Mode) (*ShardSet, error) {
+// under dir, validating each header against the schema geometry. With quant
+// serving on (QuantAuto), quantized sibling copies (storage.QuantShardPath)
+// are attached for scanning, and native v2 quantized checkpoints serve
+// directly from their quantized bytes.
+func OpenShardSet(dir string, schema *graph.Schema, dim int, mode Mode, quant QuantMode) (*ShardSet, error) {
 	ss := &ShardSet{schema: schema, dim: dim}
 	ss.shards = make([]map[int]*shardRows, len(schema.Entities))
+	ss.exactType = make([]bool, len(schema.Entities))
+	ss.quantType = make([]bool, len(schema.Entities))
 	for t := range schema.Entities {
 		ent := &schema.Entities[t]
 		ss.shards[t] = make(map[int]*shardRows, ent.NumPartitions)
+		ss.exactType[t], ss.quantType[t] = true, true
 		for p := 0; p < ent.NumPartitions; p++ {
 			path := storage.ShardPath(dir, t, p)
-			sr, err := openShard(path, t, p, dim, mode)
+			sr, err := openShard(path, storage.QuantShardPath(dir, t, p), t, p, dim, mode, quant)
 			if err != nil {
 				ss.Close()
 				return nil, err
 			}
 			wantRows := ent.PartitionCount(p)
-			if sr.rows.Rows != wantRows {
-				got := sr.rows.Rows
+			if sr.count != wantRows {
+				got := sr.count
 				sr.close()
 				ss.Close()
 				return nil, fmt.Errorf("serve: shard %s has %d rows, schema expects %d", path, got, wantRows)
@@ -214,27 +398,104 @@ func OpenShardSet(dir string, schema *graph.Schema, dim int, mode Mode) (*ShardS
 			if sr.mmapped {
 				ss.mapped++
 			}
-			ss.bytes += int64(len(sr.rows.Data)) * 4
+			if sr.fp32 {
+				ss.bytes += int64(len(sr.rows.Data)) * 4
+			} else {
+				ss.exactType[t] = false
+			}
+			if sr.quant != nil {
+				if ss.quantN > 0 && sr.quant.codec != ss.quantCodec {
+					c := sr.quant.codec
+					ss.Close() // sr is already owned by ss.shards
+					return nil, fmt.Errorf("serve: mixed quantized codecs in %s (%v and %v)", dir, ss.quantCodec, c)
+				}
+				ss.quantCodec = sr.quant.codec
+				ss.quantN++
+				ss.qbytes += sr.quant.bytes()
+			} else {
+				ss.quantType[t] = false
+			}
 		}
 	}
 	return ss, nil
 }
 
-// Rows returns the count×dim embedding matrix of one (entity type,
-// partition) shard. The matrix is read-only — on the mmap path writing
-// through it faults — and callers that feed it to comparator Prepare (which
-// mutates in place) must copy rows out first.
+// Rows returns the count×dim fp32 embedding matrix of one (entity type,
+// partition) shard. Valid only when the shard has fp32 rows (see
+// ExactType); quant-only shards are read through CopyRow / the engine's
+// block fills. The matrix is read-only — on the mmap path writing through
+// it faults — and callers that feed it to comparator Prepare (which mutates
+// in place) must copy rows out first.
 func (ss *ShardSet) Rows(typeIdx, part int) vec.Matrix {
 	return ss.shards[typeIdx][part].rows
 }
 
-// Row returns the embedding of one entity by global ID (zero-copy view).
+// Row returns the fp32 embedding of one entity by global ID (zero-copy
+// view). Valid only when the shard has fp32 rows; use CopyRow for
+// codec-independent access.
 func (ss *ShardSet) Row(typeIdx int, id int32) []float32 {
 	ent := &ss.schema.Entities[typeIdx]
 	p := ent.PartitionOf(id)
 	local := ent.LocalOffset(id)
 	return ss.shards[typeIdx][p].rows.Row(int(local))
 }
+
+// CopyRow copies the embedding of one entity by global ID into dst (length
+// Dim), at the best precision the shard holds: fp32 when present,
+// dequantized through the vec kernels otherwise.
+func (ss *ShardSet) CopyRow(typeIdx int, id int32, dst []float32) {
+	ent := &ss.schema.Entities[typeIdx]
+	p := ent.PartitionOf(id)
+	local := ent.LocalOffset(id)
+	ss.shards[typeIdx][p].copyRow(dst, int(local))
+}
+
+// copyLocalRow copies one partition-local row at best precision.
+func (ss *ShardSet) copyLocalRow(typeIdx, part, local int, dst []float32) {
+	ss.shards[typeIdx][part].copyRow(dst, local)
+}
+
+// fillBlock copies rows [lo, lo+m) of shard (typeIdx, part) into the first
+// m rows of dst; preferQuant selects the quantized view when attached.
+func (ss *ShardSet) fillBlock(typeIdx, part, lo, m int, dst vec.Matrix, preferQuant bool) {
+	ss.shards[typeIdx][part].fillBlock(dst, lo, m, preferQuant)
+}
+
+// MaterializeRows returns the fp32 rows of one shard: the zero-copy view
+// when fp32 is present, otherwise a freshly dequantized private copy (used
+// by IVF construction, which clusters in fp32 space).
+func (ss *ShardSet) MaterializeRows(typeIdx, part int) vec.Matrix {
+	sr := ss.shards[typeIdx][part]
+	if sr.fp32 {
+		return sr.rows
+	}
+	m := vec.NewMatrix(sr.count, sr.dim)
+	sr.quant.fill(m, 0, sr.count)
+	return m
+}
+
+// ExactType reports whether every partition of entity type t has fp32 rows
+// (so quantized scans of that type can re-rank at full precision).
+func (ss *ShardSet) ExactType(t int) bool { return ss.exactType[t] }
+
+// QuantizedType reports whether every partition of entity type t has a
+// quantized view (so the engine can scan it quantized).
+func (ss *ShardSet) QuantizedType(t int) bool { return ss.quantType[t] }
+
+// QuantCodec reports the codec of the quantized views (CodecFP32 when the
+// set has none).
+func (ss *ShardSet) QuantCodec() storage.Codec {
+	if ss.quantN == 0 {
+		return storage.CodecFP32
+	}
+	return ss.quantCodec
+}
+
+// QuantShards reports how many shards carry a quantized scan view.
+func (ss *ShardSet) QuantShards() int { return ss.quantN }
+
+// QuantBytes reports the quantized payload bytes resident or mapped.
+func (ss *ShardSet) QuantBytes() int64 { return ss.qbytes }
 
 // Schema returns the schema the set was opened against.
 func (ss *ShardSet) Schema() *graph.Schema { return ss.schema }
@@ -245,8 +506,11 @@ func (ss *ShardSet) Dim() int { return ss.dim }
 // MappedShards reports how many shards are on the zero-copy mmap path.
 func (ss *ShardSet) MappedShards() int { return ss.mapped }
 
-// Bytes reports the total embedding bytes resident or mapped.
-func (ss *ShardSet) Bytes() int64 { return ss.bytes }
+// Bytes reports the total embedding bytes resident or mapped: fp32 views
+// plus quantized payloads. A natively quantized checkpoint's footprint is
+// QuantBytes alone — the 2–4× reduction the codec buys carries through to
+// serving residency.
+func (ss *ShardSet) Bytes() int64 { return ss.bytes + ss.qbytes }
 
 // Close unmaps/releases every shard. The caller must guarantee no
 // outstanding readers; Server does this with view refcounting.

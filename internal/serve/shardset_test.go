@@ -20,12 +20,12 @@ func TestMain(m *testing.M) {
 // storage codec.
 func TestMmapCodecBitParity(t *testing.T) {
 	f := servetest.Shared(t, servetest.FixtureConfig{})
-	codec, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim, serve.ModeCodec)
+	codec, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim, serve.ModeCodec, serve.QuantAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer codec.Close()
-	auto, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim, serve.ModeAuto)
+	auto, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim, serve.ModeAuto, serve.QuantAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestOpenShardSetRejectsCorruptShard(t *testing.T) {
 		if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := serve.OpenShardSet(dir, f.Graph.Schema, f.Cfg.Dim, mode); err == nil {
+		if _, err := serve.OpenShardSet(dir, f.Graph.Schema, f.Cfg.Dim, mode, serve.QuantAuto); err == nil {
 			t.Fatalf("mode %v: opened a truncated shard without error", mode)
 		}
 		// Corrupt the magic.
@@ -83,7 +83,7 @@ func TestOpenShardSetRejectsCorruptShard(t *testing.T) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := serve.OpenShardSet(dir, f.Graph.Schema, f.Cfg.Dim, mode); err == nil {
+		if _, err := serve.OpenShardSet(dir, f.Graph.Schema, f.Cfg.Dim, mode, serve.QuantAuto); err == nil {
 			t.Fatalf("mode %v: opened a bad-magic shard without error", mode)
 		}
 	}
@@ -91,7 +91,7 @@ func TestOpenShardSetRejectsCorruptShard(t *testing.T) {
 
 func TestOpenShardSetRejectsDimMismatch(t *testing.T) {
 	f := servetest.Shared(t, servetest.FixtureConfig{})
-	if _, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim+1, serve.ModeAuto); err == nil {
+	if _, err := serve.OpenShardSet(f.Dir, f.Graph.Schema, f.Cfg.Dim+1, serve.ModeAuto, serve.QuantAuto); err == nil {
 		t.Fatal("opened checkpoint with wrong dim without error")
 	}
 }

@@ -150,6 +150,7 @@ type DiskStore struct {
 	seed   uint64
 	scale  float32
 	dir    string
+	codec  Codec // on-disk encoding + budget pricing; see SetCodec
 
 	mu          sync.Mutex
 	cond        *sync.Cond // signalled when in-flight I/O frees accounted memory
@@ -210,6 +211,30 @@ func (d *DiskStore) SetObs(h *obs.Hub) {
 	d.m = newDiskMetrics(h.Reg)
 }
 
+// SetCodec selects the shard encoding for every subsequent write-back and
+// flush, and switches the memory budget to codec pricing: admission,
+// eviction, snapshot reservations, and ResidentBytes all charge
+// ProjectedShardBytesCodec instead of fp32 bytes, so a 2–4× smaller codec
+// directly admits 2–4× more shards (and a wider prefetch lookahead) at the
+// same SetMaxResidentBytes budget. The budget is thus an I/O-footprint
+// cost model: the store's steady state is quantized bytes on disk and in
+// cache-pricing terms, with the decoded fp32 working copies of the
+// currently-trained bucket living transiently above it — exactly the
+// shards a trainer holds references to, which no budget may evict anyway.
+//
+// Like SetObs, call it once before the store's first Prefetch/Acquire;
+// reads transparently decode whatever codec each file already is, so a
+// directory written under a different codec converges to the new one as
+// shards are rewritten.
+func (d *DiskStore) SetCodec(c Codec) {
+	d.codec = c
+}
+
+// Codec reports the store's shard encoding.
+func (d *DiskStore) Codec() Codec {
+	return d.codec
+}
+
 // SetMaxResidentBytes sets the admission budget (0 disables budgeting and
 // restores evict-on-write-back). The budget bounds resident shards plus
 // in-flight load projections plus write-back snapshots; see the type doc
@@ -231,10 +256,18 @@ func (d *DiskStore) path(t, p int) string {
 	return ShardPath(d.dir, t, p)
 }
 
-// shardBytes is the exact in-memory size shard (t,p) will have once loaded,
-// known from the schema without touching disk.
+// shardBytes is the budget price of shard (t,p), known from the schema
+// without touching disk: its exact fp32 in-memory size, or its quantized
+// footprint when a codec is set (see SetCodec for the cost model).
 func (d *DiskStore) shardBytes(t, p int) int64 {
-	return ProjectedShardBytes(d.schema, d.dim, t, p)
+	return ProjectedShardBytesCodec(d.schema, d.dim, t, p, d.codec)
+}
+
+// sizeOf is the budget price of a loaded shard — the same quantity
+// shardBytes projects, derived from the shard's actual shape so the two
+// can never disagree for the same (count, dim).
+func (d *DiskStore) sizeOf(sh *Shard) int64 {
+	return shardDataBytes(sh.Count, sh.Dim, d.codec)
 }
 
 // newShard lazily initialises shard (t,p) with the deterministic per-shard
@@ -265,7 +298,7 @@ func (d *DiskStore) accountedLocked() int64 {
 	total := d.snapBytes
 	for _, e := range d.cache {
 		if e.shard != nil {
-			total += e.shard.Bytes()
+			total += d.sizeOf(e.shard)
 		} else {
 			total += e.size
 		}
@@ -383,7 +416,7 @@ func (d *DiskStore) load(k shardKey, e *diskEntry, prefetch bool) {
 	if err != nil {
 		delete(d.cache, k)
 	} else {
-		e.size = sh.Bytes()
+		e.size = d.sizeOf(sh)
 		if prefetch && d.maxResident > 0 {
 			// Until an Acquire hands it out, a prefetched shard is identical
 			// to its disk copy (or its deterministic lazy init): evictable
@@ -608,7 +641,7 @@ func (d *DiskStore) Release(t, p int) error {
 // write uses the live buffers instead (refs is zero, so nothing mutates
 // them) and a revival waits for the disk write via writeDone.
 func (d *DiskStore) startWrite(k shardKey, e *diskEntry) {
-	if d.maxResident > 0 && d.accountedLocked()+e.shard.Bytes() > d.maxResident {
+	if d.maxResident > 0 && d.accountedLocked()+d.sizeOf(e.shard) > d.maxResident {
 		e.writeDone = make(chan struct{})
 		live := e.shard
 		d.mu.Unlock()
@@ -620,7 +653,7 @@ func (d *DiskStore) startWrite(k shardKey, e *diskEntry) {
 	// Reserve the snapshot's bytes before releasing the lock: an admission
 	// check racing the memcpy must already see them, or a prefetch admitted
 	// during the copy would push real memory past the budget.
-	d.snapBytes += sh.Bytes()
+	d.snapBytes += d.sizeOf(sh)
 	d.updateResidentLocked()
 	d.mu.Unlock()
 	ssp := d.obs.Trace.Start("storage", fmt.Sprintf("snapshot t%d p%d", k.t, k.p))
@@ -641,12 +674,12 @@ func (d *DiskStore) startWrite(k shardKey, e *diskEntry) {
 // Close retry the write (clearing the error if the retry lands).
 func (d *DiskStore) writeBack(k shardKey, e *diskEntry, snap *Shard, live bool) {
 	wsp := d.obs.Trace.Start("storage", fmt.Sprintf("writeback t%d p%d", k.t, k.p))
-	werr := WriteShard(d.path(k.t, k.p), snap)
+	werr := WriteShardCodec(d.path(k.t, k.p), snap, d.codec)
 	wsp.End()
 	d.mu.Lock()
 	d.m.writes.Inc()
 	if !live {
-		d.snapBytes -= snap.Bytes()
+		d.snapBytes -= d.sizeOf(snap)
 	}
 	finish := func() {
 		if e.writeDone != nil {
@@ -749,7 +782,7 @@ func (d *DiskStore) Flush() error {
 	}
 	d.mu.Unlock()
 	for _, it := range items {
-		if err := WriteShard(d.path(it.k.t, it.k.p), it.e.shard); err != nil {
+		if err := WriteShardCodec(d.path(it.k.t, it.k.p), it.e.shard, d.codec); err != nil {
 			d.mu.Lock()
 			if d.ioErr == nil {
 				d.ioErr = fmt.Errorf("storage: flush shard (%d,%d): %w", it.k.t, it.k.p, err)
@@ -765,7 +798,9 @@ func (d *DiskStore) Flush() error {
 // loaded; shards awaiting write-back and the in-flight write snapshots
 // count too — all genuinely occupy memory, and the pipeline's extra
 // transient footprint should be visible to the §5.4.2 accounting rather
-// than hidden.
+// than hidden. Under SetCodec the report is in budget-priced (codec)
+// bytes, the same unit the admission budget charges, so the invariant
+// "accounted ≥ resident" holds in one currency.
 func (d *DiskStore) ResidentBytes() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -776,7 +811,7 @@ func (d *DiskStore) residentLocked() int64 {
 	total := d.snapBytes
 	for _, e := range d.cache {
 		if e.shard != nil {
-			total += e.shard.Bytes()
+			total += d.sizeOf(e.shard)
 		}
 	}
 	return total

@@ -1,0 +1,377 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pbg/internal/graph"
+	"pbg/internal/vec"
+)
+
+// Codec selects the on-disk encoding of a shard's embedding block. The
+// Adagrad accumulators always stay float32 — they are a running sum of
+// squared gradients whose dynamic range quantization would clip, and at one
+// cell per row they are a 1/(dim+1) fraction of the shard anyway.
+//
+//	fp32  v1 format, bit-exact round trip (the only format before v2).
+//	fp16  IEEE binary16 embeddings, round-to-nearest-even, ±Inf-free
+//	      (overflow clamps to ±65504): 2 bytes/cell, ~2× smaller.
+//	int8  per-row symmetric int8 with one float32 scale per row
+//	      (scale = maxabs/127): ~4× smaller, error ≤ maxabs(row)/254.
+//
+// The codec is a property of the run, not the file: DiskStore.SetCodec
+// makes every write-back, flush, and budget-admission price use it, while
+// ReadShard transparently decodes whatever version a file actually is — so
+// switching codecs between runs over the same directory just works, and
+// mixed directories (mid-migration) load fine.
+type Codec uint8
+
+const (
+	CodecFP32 Codec = iota
+	CodecFP16
+	CodecInt8
+)
+
+// Codecs lists every codec, for test matrices and bench sweeps.
+func Codecs() []Codec { return []Codec{CodecFP32, CodecFP16, CodecInt8} }
+
+// String implements fmt.Stringer with the flag spellings ParseCodec accepts.
+func (c Codec) String() string {
+	switch c {
+	case CodecFP32:
+		return "fp32"
+	case CodecFP16:
+		return "fp16"
+	case CodecInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+// ParseCodec parses a -codec flag value.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "fp32", "f32", "float32":
+		return CodecFP32, nil
+	case "fp16", "f16", "half":
+		return CodecFP16, nil
+	case "int8", "i8":
+		return CodecInt8, nil
+	default:
+		return 0, fmt.Errorf("storage: unknown codec %q (want fp32, fp16 or int8)", s)
+	}
+}
+
+// shardDataBytes prices the persisted payload of a count×dim shard under
+// codec c, excluding the file header: the embedding block at codec width,
+// the int8 per-row scale block, and the always-fp32 Adagrad block. This is
+// the byte count the memory budget charges per shard under SetCodec — the
+// store's steady-state footprint is quantized bytes, with decoded fp32
+// views living only transiently above it (see DiskStore.SetCodec).
+func shardDataBytes(count, dim int, c Codec) int64 {
+	cnt, d := int64(count), int64(dim)
+	switch c {
+	case CodecFP16:
+		return cnt*d*2 + cnt*4
+	case CodecInt8:
+		return cnt*4 + cnt*d + cnt*4
+	default:
+		return cnt * (d + 1) * 4
+	}
+}
+
+// ProjectedShardBytesCodec prices shard (t,p) under codec c, from the
+// schema alone. It is ProjectedShardBytes generalised: admission budgets,
+// the lookahead controller, and buffer-slot pricing all route through it,
+// so choosing a 2–4× smaller codec automatically widens every one of those
+// windows at the same byte budget.
+func ProjectedShardBytesCodec(schema *graph.Schema, dim, t, p int, c Codec) int64 {
+	return shardDataBytes(schema.Entities[t].PartitionCount(p), dim, c)
+}
+
+// v2 shard format: a 28-byte header of 7 little-endian uint32s
+//
+//	{magic "PBGS", version 2, codec, typeIndex, part, count, dim}
+//
+// followed by the codec payload and the fp32 Adagrad block:
+//
+//	fp16: count×dim uint16 LE embeddings, then count float32 acc
+//	int8: count float32 row scales, then count×dim int8 embeddings,
+//	      then count float32 acc
+//
+// Offsets are chosen for zero-copy mmap serving: the first payload block
+// starts at 28 (4-aligned), so the fp16 embedding view and the int8 scale
+// view are always aligned for their element types. fp32 shards keep the
+// exact v1 layout (24-byte header, no codec field) so every pre-codec file
+// and golden pin stays valid.
+const (
+	shardV2Header = 28
+	shardV1Header = 24
+)
+
+// shardFileSize is the exact on-disk size of a count×dim shard under c.
+// Both the writer and the decode-time geometry check derive from it, so a
+// file that passes validation is tiled exactly — no trailing garbage, no
+// truncated rows.
+func shardFileSize(count, dim int, c Codec) int64 {
+	if c == CodecFP32 {
+		return shardV1Header + shardDataBytes(count, dim, c)
+	}
+	return shardV2Header + shardDataBytes(count, dim, c)
+}
+
+// checkShardGeometry validates a decoded header against the actual file
+// size before anything is allocated: a hostile header cannot make the
+// reader allocate count×dim of anything unless the bytes really are on
+// disk, and truncation is caught up front instead of as a mid-decode EOF.
+func checkShardGeometry(count, dim uint32, c Codec, fileSize int64) error {
+	cnt, d := int64(count), int64(dim)
+	if d != 0 && cnt > (1<<59)/d { // count*dim*4 must not overflow int64
+		return fmt.Errorf("storage: shard geometry overflow (count %d × dim %d)", count, dim)
+	}
+	if want := shardFileSize(int(count), int(dim), c); fileSize != want {
+		return fmt.Errorf("storage: shard file is %d bytes, want %d for count %d × dim %d under %v",
+			fileSize, want, count, dim, c)
+	}
+	return nil
+}
+
+// WriteShardCodec persists a shard to path atomically under codec c.
+// CodecFP32 writes the v1 format bit-for-bit (WriteShard is that case);
+// fp16 and int8 quantize the embedding block on the way out — the in-memory
+// shard is not modified, and the quantization cost is amortised into the
+// same chunked encode pass the fp32 codec uses.
+func WriteShardCodec(path string, s *Shard, c Codec) error {
+	if c == CodecFP32 {
+		return WriteShard(path, s)
+	}
+	return writeFileAtomic(path, func(w *bufio.Writer) error {
+		hdr := []uint32{shardMagic, 2, uint32(c), uint32(s.TypeIndex), uint32(s.Part), uint32(s.Count), uint32(s.Dim)}
+		for _, v := range hdr {
+			if err := writeU32(w, v); err != nil {
+				return err
+			}
+		}
+		switch c {
+		case CodecFP16:
+			if err := writeF16s(w, s.Embs); err != nil {
+				return err
+			}
+		case CodecInt8:
+			scales := make([]float32, s.Count)
+			for r := 0; r < s.Count; r++ {
+				scales[r] = vec.I8RowScale(s.Row(r))
+			}
+			if err := writeFloats(w, scales); err != nil {
+				return err
+			}
+			if err := writeQuantI8Rows(w, s, scales); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("storage: cannot encode codec %v", c)
+		}
+		return writeFloats(w, s.Acc)
+	})
+}
+
+// ReadShard loads a shard written by WriteShard or WriteShardCodec,
+// transparently decoding any codec to fp32.
+func ReadShard(path string) (*Shard, error) {
+	s, _, err := ReadShardCodec(path)
+	return s, err
+}
+
+// ReadShardCodec loads a shard and reports which codec it was stored
+// under. Decoding always yields fp32 buffers; the header is validated
+// against the real file size before any allocation.
+func ReadShardCodec(path string) (*Shard, Codec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic, err := readU32(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: shard header: %w", err)
+	}
+	if magic != shardMagic {
+		return nil, 0, fmt.Errorf("storage: %s is not a shard file", path)
+	}
+	version, err := readU32(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: shard header: %w", err)
+	}
+	switch version {
+	case 1:
+		var hdr [4]uint32 // typeIndex, part, count, dim
+		for i := range hdr {
+			if hdr[i], err = readU32(r); err != nil {
+				return nil, 0, fmt.Errorf("storage: shard header: %w", err)
+			}
+		}
+		if err := checkShardGeometry(hdr[2], hdr[3], CodecFP32, fi.Size()); err != nil {
+			return nil, 0, err
+		}
+		s := NewShard(int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3]))
+		if err := readFloats(r, s.Embs); err != nil {
+			return nil, 0, err
+		}
+		if err := readFloats(r, s.Acc); err != nil {
+			return nil, 0, err
+		}
+		return s, CodecFP32, nil
+	case 2:
+		var hdr [5]uint32 // codec, typeIndex, part, count, dim
+		for i := range hdr {
+			if hdr[i], err = readU32(r); err != nil {
+				return nil, 0, fmt.Errorf("storage: shard header: %w", err)
+			}
+		}
+		c := Codec(hdr[0])
+		if c != CodecFP16 && c != CodecInt8 {
+			return nil, 0, fmt.Errorf("storage: bad v2 shard codec %d", hdr[0])
+		}
+		if err := checkShardGeometry(hdr[3], hdr[4], c, fi.Size()); err != nil {
+			return nil, 0, err
+		}
+		s := NewShard(int(hdr[1]), int(hdr[2]), int(hdr[3]), int(hdr[4]))
+		switch c {
+		case CodecFP16:
+			if err := readF16s(r, s.Embs); err != nil {
+				return nil, 0, err
+			}
+		case CodecInt8:
+			scales := make([]float32, s.Count)
+			if err := readFloats(r, scales); err != nil {
+				return nil, 0, err
+			}
+			if err := readQuantI8Rows(r, s, scales); err != nil {
+				return nil, 0, err
+			}
+		}
+		if err := readFloats(r, s.Acc); err != nil {
+			return nil, 0, err
+		}
+		return s, c, nil
+	default:
+		return nil, 0, fmt.Errorf("storage: unsupported shard version %d", version)
+	}
+}
+
+// writeF16s encodes xs as binary16 through the chunked stack buffer (see
+// the codec note in storage.go: the loop is spelled out, not shared).
+func writeF16s(w *bufio.Writer, xs []float32) error {
+	var buf [codecChunk]byte
+	for len(xs) > 0 {
+		n := len(buf) / 2
+		if n > len(xs) {
+			n = len(xs)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint16(buf[i*2:], vec.F16Bits(xs[i]))
+		}
+		if _, err := w.Write(buf[:n*2]); err != nil {
+			return err
+		}
+		xs = xs[n:]
+	}
+	return nil
+}
+
+func readF16s(r io.Reader, xs []float32) error {
+	var buf [codecChunk]byte
+	for len(xs) > 0 {
+		n := len(buf) / 2
+		if n > len(xs) {
+			n = len(xs)
+		}
+		if _, err := io.ReadFull(r, buf[:n*2]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			xs[i] = vec.F16Value(binary.LittleEndian.Uint16(buf[i*2:]))
+		}
+		xs = xs[n:]
+	}
+	return nil
+}
+
+// writeQuantI8Rows quantizes and writes the embedding block row by row,
+// because the scale changes per row; the bufio.Writer absorbs the per-row
+// Write calls.
+func writeQuantI8Rows(w *bufio.Writer, s *Shard, scales []float32) error {
+	q := make([]int8, s.Dim)
+	buf := make([]byte, s.Dim)
+	for r := 0; r < s.Count; r++ {
+		vec.QuantI8(q, s.Row(r), scales[r])
+		for i, v := range q {
+			buf[i] = byte(v)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readQuantI8Rows(r io.Reader, s *Shard, scales []float32) error {
+	buf := make([]byte, s.Dim)
+	q := make([]int8, s.Dim)
+	for row := 0; row < s.Count; row++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i, b := range buf {
+			q[i] = int8(b)
+		}
+		vec.DequantI8(s.Row(row), q, scales[row])
+	}
+	return nil
+}
+
+// QuantShardPath is the on-disk location of the quantized sibling copy of
+// shard (t, p) — the scan-side companion a serving process maps next to a
+// full-precision checkpoint (see WriteQuantCopy). Training never touches
+// these files.
+func QuantShardPath(dir string, t, p int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard_t%d_p%d.q.pbg", t, p))
+}
+
+// WriteQuantCopy writes a quantized sibling (QuantShardPath) of every shard
+// in the checkpoint at dir, for the serving layer's quantized-scan +
+// fp32-re-rank path: candidate generation scans the small sibling, and only
+// surviving rows are re-scored from the untouched fp32 originals. The
+// source shards must be fp32 (v1) — quantizing an already-quantized
+// checkpoint would silently stack two rounds of error, so that is an error
+// instead.
+func WriteQuantCopy(dir string, schema *graph.Schema, c Codec) error {
+	if c == CodecFP32 {
+		return fmt.Errorf("storage: quant copy needs a quantized codec, got fp32")
+	}
+	for t := range schema.Entities {
+		for p := 0; p < schema.Entities[t].NumPartitions; p++ {
+			sh, src, err := ReadShardCodec(ShardPath(dir, t, p))
+			if err != nil {
+				return fmt.Errorf("storage: quant copy source (%d,%d): %w", t, p, err)
+			}
+			if src != CodecFP32 {
+				return fmt.Errorf("storage: shard (%d,%d) is already %v; quant copies need fp32 sources", t, p, src)
+			}
+			if err := WriteShardCodec(QuantShardPath(dir, t, p), sh, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -131,14 +131,15 @@ func (s *Shard) Bytes() int64 {
 	return int64(len(s.Embs)+len(s.Acc)) * 4
 }
 
-// ProjectedShardBytes is the in-memory size shard (t,p) will occupy once
-// loaded, priced from the schema alone — it must match Shard.Bytes for a
-// shard of that shape (count×dim embeddings plus count Adagrad cells,
-// float32 each). Budget admission, the remote checkout cache, and the
-// lookahead controller's window projections all price shards through this
-// one helper so accounting cannot drift from real memory.
+// ProjectedShardBytes is the fp32 size shard (t,p) will occupy, priced from
+// the schema alone — it matches Shard.Bytes for a shard of that shape
+// (count×dim embeddings plus count Adagrad cells, float32 each). Budget
+// admission, the remote checkout cache, and the lookahead controller's
+// window projections all price shards through this helper — or through
+// ProjectedShardBytesCodec when a run stores shards quantized — so
+// accounting cannot drift from the bytes actually held.
 func ProjectedShardBytes(schema *graph.Schema, dim, t, p int) int64 {
-	return int64(schema.Entities[t].PartitionCount(p)) * int64(dim+1) * 4
+	return ProjectedShardBytesCodec(schema, dim, t, p, CodecFP32)
 }
 
 const shardMagic = uint32(0x50424753) // "PBGS"
@@ -201,36 +202,6 @@ func WriteShard(path string, s *Shard) error {
 		}
 		return writeFloats(w, s.Acc)
 	})
-}
-
-// ReadShard loads a shard previously written with WriteShard.
-func ReadShard(path string) (*Shard, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	var hdr [6]uint32
-	for i := range hdr {
-		if hdr[i], err = readU32(r); err != nil {
-			return nil, fmt.Errorf("storage: shard header: %w", err)
-		}
-	}
-	if hdr[0] != shardMagic {
-		return nil, fmt.Errorf("storage: %s is not a shard file", path)
-	}
-	if hdr[1] != 1 {
-		return nil, fmt.Errorf("storage: unsupported shard version %d", hdr[1])
-	}
-	s := NewShard(int(hdr[2]), int(hdr[3]), int(hdr[4]), int(hdr[5]))
-	if err := readFloats(r, s.Embs); err != nil {
-		return nil, err
-	}
-	if err := readFloats(r, s.Acc); err != nil {
-		return nil, err
-	}
-	return s, nil
 }
 
 // The float/int codecs below encode directly through a fixed stack buffer

@@ -294,6 +294,17 @@ func (s *Store) SetMaxResidentBytes(n int64) {
 	}
 }
 
+// SetCodec forwards the shard codec to the inner store when it encodes one
+// (DiskStore). Mirrors SetMaxResidentBytes: train.New plumbs Config.Codec
+// through exactly this interface, and without the forwarder a harness-
+// wrapped DiskStore would silently write fp32 while the trainer's budget
+// controller priced shards quantized.
+func (s *Store) SetCodec(c storage.Codec) {
+	if b, ok := s.inner.(interface{ SetCodec(storage.Codec) }); ok {
+		b.SetCodec(c)
+	}
+}
+
 // Flush implements storage.Store.
 func (s *Store) Flush() error { return s.inner.Flush() }
 

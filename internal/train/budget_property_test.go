@@ -1,9 +1,9 @@
 package train
 
 // Property coverage for the memory budget (run under -race in CI): across
-// randomized schemas, bucket orders, lookahead depths, and budgets, the
-// store's resident bytes never exceed MaxResidentBytes plus the single
-// in-flight shard allowance, and every acquired shard is eventually
+// randomized schemas, bucket orders, lookahead depths, budgets, and shard
+// codecs, the store's resident bytes never exceed MaxResidentBytes plus the
+// single in-flight shard allowance, and every acquired shard is eventually
 // released. The invariant is observed two ways at once: a polling goroutine
 // hammering ResidentBytes while epochs run (so transients — prefetch
 // projections, write-back snapshots — cannot hide between samples), and
@@ -34,19 +34,20 @@ func TestPipelineBudgetInvariantProperty(t *testing.T) {
 	for i := 0; i < cases; i++ {
 		parts := []int{2, 4, 8}[r.Intn(3)]
 		order := orders[r.Intn(len(orders))]
+		codec := storage.Codecs()[r.Intn(len(storage.Codecs()))]
 		la := 1 + r.Intn(3)
 		maxLa := la + r.Intn(3)
 		const nodes, dim = 240, 8
-		perShard := int64((nodes+parts-1)/parts) * int64(dim+1) * 4
 		// A bucket's working set is two shards; budgets below that would
 		// legitimately run over (referenced shards cannot be evicted), so
-		// randomize from the working set upward. The last case is
+		// randomize from the working set upward — priced through the case's
+		// codec, the same currency admission charges. The last case is
 		// unbounded.
-		budget := int64(2+r.Intn(3)) * perShard
+		shardMult := int64(2 + r.Intn(3))
 		if i == cases-1 {
-			budget = 0
+			shardMult = 0
 		}
-		name := fmt.Sprintf("parts=%d/order=%s/la=%d-%d/budget=%d", parts, order, la, maxLa, budget)
+		name := fmt.Sprintf("parts=%d/order=%s/codec=%s/la=%d-%d/budget=%dx", parts, order, codec, la, maxLa, shardMult)
 		t.Run(name, func(t *testing.T) {
 			g, err := datagen.Social(datagen.SocialConfig{
 				Nodes: nodes, AvgOutDegree: 4, NumPartitions: parts, Seed: uint64(31 + i),
@@ -54,6 +55,8 @@ func TestPipelineBudgetInvariantProperty(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			perShard := storage.ProjectedShardBytesCodec(g.Schema, dim, 0, 0, codec)
+			budget := shardMult * perShard
 			ds, err := storage.NewDiskStore(t.TempDir(), g.Schema, dim, 7, 1)
 			if err != nil {
 				t.Fatal(err)
@@ -62,7 +65,7 @@ func TestPipelineBudgetInvariantProperty(t *testing.T) {
 			tr, err := New(g, st, Config{
 				Dim: dim, Epochs: 2, Seed: uint64(5 + i), Workers: 2, HogwildOff: true,
 				BucketOrder: order, Lookahead: la, MaxLookahead: maxLa,
-				MemBudgetBytes: budget,
+				MemBudgetBytes: budget, Codec: codec.String(),
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -24,11 +24,13 @@ const lookaheadWidenIOWait = 0.05
 // compute without letting the window grow past a partition row.
 const defaultMaxLookahead = 4
 
-// shardKeyBytes is the exact in-memory size shard k will occupy, priced
-// through the same helper budget admission uses, so the controller's
-// projections cannot drift from the store's accounting.
+// shardKeyBytes is the budget price of shard k — its fp32 size, or its
+// quantized footprint under Config.Codec — priced through the same helper
+// budget admission uses, so the controller's projections cannot drift from
+// the store's accounting. A smaller codec therefore widens the depth the
+// same budget affords, automatically.
 func (t *Trainer) shardKeyBytes(k shardKey) int64 {
-	return storage.ProjectedShardBytes(t.g.Schema, t.cfg.Dim, k.t, k.p)
+	return storage.ProjectedShardBytesCodec(t.g.Schema, t.cfg.Dim, k.t, k.p, t.codec)
 }
 
 // maxShardBytes is the largest single shard of the schema — the "one

@@ -14,20 +14,22 @@ import (
 // admission, hint shedding, LRU eviction — but which shards it is forced to
 // evict is decided by the bucket order; ordering against the buffer removes
 // most of those forced evictions up front. Pricing goes through
-// storage.ProjectedShardBytes, the same single formula budget admission and
-// the lookahead controller use, so the three views of the budget cannot
-// drift apart.
+// storage.ProjectedShardBytesCodec, the same single formula budget
+// admission and the lookahead controller use, so the three views of the
+// budget cannot drift apart — and a quantized codec buys more slots at the
+// same budget in all three at once.
 
 // BufferSlotsFor converts a memory budget into resident partition slots:
 // how many whole partitions (one shard per partitioned entity type each)
 // fit in budget bytes after the always-resident unpartitioned shards and
-// the controller's one-in-flight-shard allowance are set aside. Returns 0
-// when no budget is set or the budget cannot hold even one slot — callers
-// treat both as "nothing to optimise against". This is the single pricing
-// the trainer, pbg-train's startup line, and pbg-node's lock role all use,
-// so the order the lock server installs is optimized for exactly the
-// buffer the trainers' caches will sustain.
-func BufferSlotsFor(schema *graph.Schema, dim int, budget int64) int {
+// the controller's one-in-flight-shard allowance are set aside, priced
+// under the run's shard codec. Returns 0 when no budget is set or the
+// budget cannot hold even one slot — callers treat both as "nothing to
+// optimise against". This is the single pricing the trainer, pbg-train's
+// startup line, and pbg-node's lock role all use, so the order the lock
+// server installs is optimized for exactly the buffer the trainers' caches
+// will sustain.
+func BufferSlotsFor(schema *graph.Schema, dim int, budget int64, codec storage.Codec) int {
 	if budget <= 0 {
 		return 0
 	}
@@ -35,7 +37,7 @@ func BufferSlotsFor(schema *graph.Schema, dim int, budget int64) int {
 	for ti, e := range schema.Entities {
 		// Partition 0 is never smaller than later partitions, so pricing
 		// slots at p=0 under-counts nothing.
-		b := storage.ProjectedShardBytes(schema, dim, ti, 0)
+		b := storage.ProjectedShardBytesCodec(schema, dim, ti, 0, codec)
 		if b > maxShard {
 			maxShard = b
 		}
@@ -55,9 +57,10 @@ func BufferSlotsFor(schema *graph.Schema, dim int, budget int64) int {
 	return int(free / slotBytes)
 }
 
-// bufferSlots is BufferSlotsFor over the trainer's own schema and budget.
+// bufferSlots is BufferSlotsFor over the trainer's own schema, budget and
+// codec.
 func (t *Trainer) bufferSlots() int {
-	return BufferSlotsFor(t.g.Schema, t.cfg.Dim, t.cfg.MemBudgetBytes)
+	return BufferSlotsFor(t.g.Schema, t.cfg.Dim, t.cfg.MemBudgetBytes, t.codec)
 }
 
 // buildOrder constructs the trainer's bucket order and records the planning
@@ -96,8 +99,8 @@ func (t *Trainer) BufferSlots() int { return t.bufferSlots() }
 // (grouped/strided) past the size cutoff. It returns the plan plus the
 // priced slot count so CLIs can echo the decision; the trainer's own
 // buildOrder runs exactly this planning through partition.OrderForBuffer.
-func PlanOrderFor(schema *graph.Schema, dim int, budget int64) (partition.OrderPlan, int) {
-	slots := BufferSlotsFor(schema, dim, budget)
+func PlanOrderFor(schema *graph.Schema, dim int, budget int64, codec storage.Codec) (partition.OrderPlan, int) {
+	slots := BufferSlotsFor(schema, dim, budget, codec)
 	nSrc, nDst := bucketDims(schema)
 	return partition.PlanBudgetAware(nSrc, nDst, slots), slots
 }

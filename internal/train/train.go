@@ -117,6 +117,16 @@ type Config struct {
 	// distributed remote store) and bounds the controller's lookahead
 	// projections. 0 = unbounded (today's behaviour).
 	MemBudgetBytes int64
+	// Codec selects the on-disk shard encoding for stores that support one
+	// (DiskStore via SetCodec): "fp32" (default), "fp16", or "int8" — see
+	// storage.ParseCodec for accepted spellings. The codec also reprices
+	// every budget consumer (admission, the lookahead controller's window
+	// projections, budget_aware buffer slots), so a 2–4× smaller codec
+	// widens the lookahead window and the partition buffer at the same
+	// MemBudgetBytes. Adagrad state stays fp32 under every codec; fp16
+	// loses embedding bits to rounding and int8 to per-row scaling, with
+	// the MRR cost of each pinned by the servetest parity matrix.
+	Codec string
 	// StratumParts N > 1 splits each bucket's edges into N parts and sweeps
 	// the buckets N times per epoch ('stratum losses', Gemulla et al. 2011;
 	// §4.1 footnote 3).
@@ -270,6 +280,10 @@ type Trainer struct {
 	epochHighWater int64
 	winBytes       map[int]int64
 
+	// codec is the parsed Config.Codec; every budget projection prices
+	// shards under it, matching the store's own admission accounting.
+	codec storage.Codec
+
 	// obs is Config.Obs or a private quiet hub; tm caches its registry
 	// handles so the epoch path never takes the registry lock. epochSpan is
 	// the span covering the epoch in flight (nil outside TrainEpoch and on
@@ -289,7 +303,11 @@ func New(g *graph.Graph, store storage.Store, cfg Config) (*Trainer, error) {
 	if cfg.Dim <= 0 {
 		return nil, fmt.Errorf("train: Dim must be positive")
 	}
-	t := &Trainer{cfg: cfg, g: g, store: store, root: rng.New(cfg.Seed)}
+	codec, err := storage.ParseCodec(cfg.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	t := &Trainer{cfg: cfg, g: g, store: store, root: rng.New(cfg.Seed), codec: codec}
 	t.obs = cfg.Obs
 	if t.obs == nil {
 		t.obs = obs.NewQuietHub()
@@ -346,6 +364,16 @@ func New(g *graph.Graph, store storage.Store, cfg Config) (*Trainer, error) {
 	t.stripes = make([]sync.Mutex, 1024)
 	t.winBytes = make(map[int]int64)
 
+	// Plumb the shard codec into stores that encode one (DiskStore); the
+	// codec must land before the budget so admission prices quantized bytes
+	// from the first hint. Stores with no on-disk format (MemStore) have
+	// nothing to encode — for them the codec takes effect at Checkpoint
+	// time, when the shards first meet a disk.
+	if codec != storage.CodecFP32 {
+		if c, ok := store.(interface{ SetCodec(storage.Codec) }); ok {
+			c.SetCodec(codec)
+		}
+	}
 	// Plumb the memory budget into stores that enforce one (DiskStore, the
 	// distributed remote store); others simply ignore it. Then pick the
 	// initial lookahead the budget can actually afford.
@@ -388,6 +416,10 @@ func (t *Trainer) Buckets() []partition.Bucket { return t.buckets }
 
 // Schema returns the graph schema the trainer was built from.
 func (t *Trainer) Schema() *graph.Schema { return t.g.Schema }
+
+// Codec reports the parsed shard codec of the run (Config.Codec);
+// Model.Checkpoint encodes checkpoints under it.
+func (t *Trainer) Codec() storage.Codec { return t.codec }
 
 // PeakResidentBytes reports the largest model footprint held in memory so
 // far (sampled while bucket shards are resident).

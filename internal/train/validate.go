@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pbg/internal/partition"
+	"pbg/internal/storage"
 )
 
 // ValidateRunFlags sanity-checks the run-shaping flag combination shared by
@@ -15,8 +16,12 @@ import (
 // -order budget_aware without -mem-budget almost certainly made a mistake.
 //
 // bufferSlots is pbg-node's lock-role override that prices the budget_aware
-// buffer directly; pbg-train passes 0.
-func ValidateRunFlags(order string, memBudget int64, bufferSlots, lookahead, maxLookahead int) error {
+// buffer directly; pbg-train passes 0. codec is the -codec flag value
+// ("" means fp32).
+func ValidateRunFlags(order, codec string, memBudget int64, bufferSlots, lookahead, maxLookahead int) error {
+	if _, err := storage.ParseCodec(codec); err != nil {
+		return fmt.Errorf("-codec: %w", err)
+	}
 	switch order {
 	case "", partition.OrderInsideOut, partition.OrderSequential,
 		partition.OrderRandom, partition.OrderChained, partition.OrderBudgetAware:

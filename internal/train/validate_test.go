@@ -9,6 +9,7 @@ func TestValidateRunFlags(t *testing.T) {
 	cases := []struct {
 		name                 string
 		order                string
+		codec                string
 		budget               int64
 		slots, look, maxLook int
 		wantErr              bool
@@ -17,6 +18,9 @@ func TestValidateRunFlags(t *testing.T) {
 		{name: "defaults", order: "", wantErr: false},
 		{name: "plain order", order: "inside_out", wantErr: false},
 		{name: "unknown order", order: "outside_in", wantErr: true, wantSubstr: "unknown -order"},
+		{name: "fp16 codec", codec: "fp16", wantErr: false},
+		{name: "int8 codec", codec: "int8", wantErr: false},
+		{name: "unknown codec", codec: "bf16", wantErr: true, wantSubstr: "-codec"},
 		{name: "budget_aware without budget", order: "budget_aware", wantErr: true, wantSubstr: "-mem-budget"},
 		{name: "budget_aware with budget", order: "budget_aware", budget: 1 << 20, wantErr: false},
 		{name: "budget_aware with slots", order: "budget_aware", slots: 4, wantErr: false},
@@ -30,10 +34,10 @@ func TestValidateRunFlags(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := ValidateRunFlags(c.order, c.budget, c.slots, c.look, c.maxLook)
+			err := ValidateRunFlags(c.order, c.codec, c.budget, c.slots, c.look, c.maxLook)
 			if (err != nil) != c.wantErr {
-				t.Fatalf("ValidateRunFlags(%q, %d, %d, %d, %d) = %v, wantErr %v",
-					c.order, c.budget, c.slots, c.look, c.maxLook, err, c.wantErr)
+				t.Fatalf("ValidateRunFlags(%q, %q, %d, %d, %d, %d) = %v, wantErr %v",
+					c.order, c.codec, c.budget, c.slots, c.look, c.maxLook, err, c.wantErr)
 			}
 			if err != nil && !strings.Contains(err.Error(), c.wantSubstr) {
 				t.Fatalf("error %q does not mention %q", err, c.wantSubstr)

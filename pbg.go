@@ -289,12 +289,15 @@ func (m *Model) EmbeddingMatrix(entityType string) (vec.Matrix, error) {
 	return out, nil
 }
 
-// Checkpoint persists all shards and relation parameters under dir.
+// Checkpoint persists all shards and relation parameters under dir, encoded
+// with the run's shard codec (Config.Codec) — so a MemStore-trained model
+// still checkpoints quantized when the run asked for it.
 func (m *Model) Checkpoint(dir string) error {
 	ds, err := storage.NewDiskStore(dir, m.graph.Schema, m.Dim(), 0, 1)
 	if err != nil {
 		return err
 	}
+	ds.SetCodec(m.trainer.Codec())
 	for ti, e := range m.graph.Schema.Entities {
 		for p := 0; p < e.NumPartitions; p++ {
 			src, err := m.store.Acquire(ti, p)
