@@ -195,7 +195,7 @@ func main() {
 				if err := c.Call("LockServer.StartEpoch", dist.StartEpochArgs{}, &rep); err != nil {
 					log.Fatal(err)
 				}
-				c.Close()
+				_ = c.Close()
 			}
 			st, err := node.RunEpoch()
 			if err != nil {

@@ -134,7 +134,7 @@ func (rep *Report) Format(columns []string) string {
 		}
 		fmt.Fprintln(w)
 	}
-	w.Flush()
+	_ = w.Flush()
 	if rep.Notes != "" {
 		fmt.Fprintf(&buf, "note: %s\n", rep.Notes)
 	}

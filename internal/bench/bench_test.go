@@ -1,3 +1,12 @@
+// The shape tests replay full (small-scale) training runs; under the race
+// detector they exceed the 10-minute package timeout, and the DeepWalk
+// baseline is deliberately lock-free HOGWILD, which the detector correctly
+// reports. Race coverage of the production paths lives in the per-package
+// suites (train, storage, dist, serve, obs), so these reproductions run
+// only in the non-instrumented test job.
+//
+//go:build !race
+
 package bench
 
 import (

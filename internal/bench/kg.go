@@ -93,14 +93,14 @@ func Table2FB15k(s Scale) (*Report, error) {
 			Mode: eval.CandidatesAll, MaxEdges: s.EvalEdges, BothSides: true, Seed: 1,
 		})
 		if err != nil {
-			view.Close()
+			_ = view.Close()
 			return nil, err
 		}
 		filt, err := rk.Evaluate(testG.Edges, eval.Config{
 			Mode: eval.CandidatesAll, MaxEdges: s.EvalEdges, BothSides: true, Seed: 1,
 			Filtered: true, Known: known,
 		})
-		view.Close()
+		_ = view.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +185,7 @@ func partitionSweep(s Scale, id, title string, build func(parts int) (*graph.Gra
 		m, err := rk.Evaluate(testG.Edges, eval.Config{
 			Mode: eval.CandidatesPrevalence, K: s.EvalK, MaxEdges: s.EvalEdges, Seed: 1,
 		})
-		view.Close()
+		_ = view.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -255,8 +255,8 @@ func distributedSweep(s Scale, id, title string, build func(parts int) (*graph.G
 		m, err := rk.Evaluate(testG.Edges, eval.Config{
 			Mode: eval.CandidatesPrevalence, K: s.EvalK, MaxEdges: s.EvalEdges, Seed: 1,
 		})
-		view.Close()
-		store.Close()
+		_ = view.Close()
+		_ = store.Close()
 		cl.Shutdown()
 		if err != nil {
 			return nil, err
@@ -320,8 +320,8 @@ func distributedCurves(s Scale, build func(parts int) (*graph.Graph, error)) ([]
 			m, err := rk.Evaluate(testG.Edges, eval.Config{
 				Mode: eval.CandidatesPrevalence, K: s.EvalK, MaxEdges: s.EvalEdges / 2, Seed: 1,
 			})
-			view.Close()
-			store.Close()
+			_ = view.Close()
+			_ = store.Close()
 			if err != nil {
 				cl.Shutdown()
 				return nil, err

@@ -42,7 +42,7 @@ func Figure1Ordering(s Scale) (*Report, error) {
 		}
 		view := tr.NewView()
 		m, err := evalUniform(s, trainG.Schema, view, tr, deg, testG.Edges)
-		view.Close()
+		_ = view.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -208,13 +208,13 @@ func AblationAlpha(s Scale) (*Report, error) {
 			Mode: eval.CandidatesUniform, K: s.EvalK, MaxEdges: s.EvalEdges, Seed: 1,
 		})
 		if err != nil {
-			view.Close()
+			_ = view.Close()
 			return nil, err
 		}
 		prev, err := rk.Evaluate(testG.Edges, eval.Config{
 			Mode: eval.CandidatesPrevalence, K: s.EvalK, MaxEdges: s.EvalEdges, Seed: 1,
 		})
-		view.Close()
+		_ = view.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -258,7 +258,7 @@ func AblationComplExPartitioning(s Scale) (*Report, error) {
 			m, err := rk.Evaluate(testG.Edges, eval.Config{
 				Mode: eval.CandidatesPrevalence, K: s.EvalK, MaxEdges: s.EvalEdges / 2, Seed: 1,
 			})
-			view.Close()
+			_ = view.Close()
 			if err != nil {
 				return nil, err
 			}
@@ -298,7 +298,7 @@ func AblationStratum(s Scale) (*Report, error) {
 		}
 		view := tr.NewView()
 		m, err := evalUniform(s, trainG.Schema, view, tr, deg, testG.Edges)
-		view.Close()
+		_ = view.Close()
 		if err != nil {
 			return nil, err
 		}

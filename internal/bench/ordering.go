@@ -50,11 +50,11 @@ func OrderingSweep(s Scale) (*Report, error) {
 				Lookahead: 1, MaxLookahead: 1,
 			})
 			if err != nil {
-				store.Close()
+				_ = store.Close()
 				return nil, err
 			}
 			if got := tr.BufferSlots(); got != slots {
-				store.Close()
+				_ = store.Close()
 				return nil, fmt.Errorf("bench: trainer priced %d buffer slots, want %d", got, slots)
 			}
 			projected := partition.SwapCostUnderBuffer(tr.Buckets(), slots)
@@ -63,7 +63,7 @@ func OrderingSweep(s Scale) (*Report, error) {
 			var ioWait, total time.Duration
 			stats, err := tr.Train(nil)
 			if err != nil {
-				store.Close()
+				_ = store.Close()
 				return nil, err
 			}
 			for _, st := range stats {

@@ -76,10 +76,10 @@ func ServeSweep(s Scale, short bool) (*Report, error) {
 			return nil, err
 		}
 		if err := srv.BuildIndex(serve.IVFConfig{Seed: s.Seed}); err != nil {
-			srv.Close()
+			_ = srv.Close()
 			return nil, err
 		}
-		srv.Close()
+		_ = srv.Close()
 	}
 
 	// One deterministic query stream shared by every row.
@@ -98,12 +98,12 @@ func ServeSweep(s Scale, short bool) (*Report, error) {
 		for i, src := range srcs {
 			res, err := srv.TopK([]serve.TopKRequest{{Rel: 0, SrcID: src, K: k, Exact: true}})
 			if err != nil {
-				srv.Close()
+				_ = srv.Close()
 				return nil, err
 			}
 			exact[i] = res[0].IDs
 		}
-		srv.Close()
+		_ = srv.Close()
 	}
 
 	workloads := []struct {
@@ -133,12 +133,12 @@ func ServeSweep(s Scale, short bool) (*Report, error) {
 		var front *serve.RPCServer
 		if wl.rpc {
 			if front, err = serve.ListenAndServe("127.0.0.1:0", srv); err != nil {
-				srv.Close()
+				_ = srv.Close()
 				return nil, err
 			}
 			if client, err = serve.Dial(front.Addr()); err != nil {
-				front.Close()
-				srv.Close()
+				_ = front.Close()
+				_ = srv.Close()
 				return nil, err
 			}
 		}
@@ -161,7 +161,7 @@ func ServeSweep(s Scale, short bool) (*Report, error) {
 				res, err = srv.TopK(reqs)
 			}
 			if err != nil {
-				srv.Close()
+				_ = srv.Close()
 				return nil, err
 			}
 			for i, r := range res {
@@ -190,12 +190,12 @@ func ServeSweep(s Scale, short bool) (*Report, error) {
 		}})
 
 		if client != nil {
-			client.Close()
+			_ = client.Close()
 		}
 		if front != nil {
-			front.Close()
+			_ = front.Close()
 		}
-		srv.Close()
+		_ = srv.Close()
 	}
 	return rep, nil
 }

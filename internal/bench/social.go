@@ -228,7 +228,7 @@ func Figure5LearningCurves(s Scale) ([]*eval.Curve, error) {
 		cum += st.Duration
 		view := tr.NewView()
 		m, err := evalUniform(s, trainG.Schema, view, tr, deg, testG.Edges)
-		view.Close()
+		_ = view.Close()
 		if err != nil {
 			return nil, err
 		}

@@ -56,7 +56,7 @@ func WriteManifest(dir string, m *Manifest) error {
 	}
 	name := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(name)
 		return err
 	}

@@ -400,16 +400,16 @@ func (cl *Cluster) Shutdown() {
 			<-cl.ckptDone
 		}
 		for _, n := range cl.Nodes {
-			n.Close()
+			_ = n.Close()
 		}
 		if cl.lock != nil {
-			cl.lock.Close()
+			_ = cl.lock.Close()
 		}
 		for _, ps := range cl.partSrvs {
 			ps.closeDurable()
 		}
 		for _, l := range cl.listeners {
-			l.Close()
+			_ = l.Close()
 		}
 	})
 }

@@ -204,6 +204,9 @@ func TestPartitionServerSwapRoundTrip(t *testing.T) {
 			t.Fatalf("init mismatch at %d: %v != %v", i, sh.Embs[i], ref.Embs[i])
 		}
 	}
+	if err := mem.Release(0, 1); err != nil {
+		t.Fatal(err)
+	}
 
 	// Mutate, write back (Release), fetch again: the round trip preserves
 	// embeddings and Adagrad state exactly.

@@ -189,20 +189,20 @@ func NewNode(g *graph.Graph, cfg NodeConfig) (*Node, error) {
 	n.syncLag = n.obs.Reg.Gauge("pbg_dist_param_sync_lag_ns")
 	n.leasesLost = n.obs.Reg.Counter("pbg_dist_leases_lost_total")
 	fail := func(err error) (*Node, error) {
-		n.Close()
+		_ = n.Close()
 		return nil, err
 	}
 	n.lock, err = dialRetry("lock server", cfg.LockAddr, cfg.Retry, cfg.Chaos, tag)
 	if err != nil {
 		return fail(err)
 	}
-	n.lock.setCounters(n.obs.Reg)
+	n.lock.bindMetrics(n.obs.Reg)
 	for _, addr := range cfg.ParamAddrs {
 		c, err := dialRetry("param server", addr, cfg.Retry, cfg.Chaos, tag)
 		if err != nil {
 			return fail(err)
 		}
-		c.setCounters(n.obs.Reg)
+		c.bindMetrics(n.obs.Reg)
 		n.params = append(n.params, c)
 	}
 	n.trainer, err = train.New(g, store, cfg.Train)

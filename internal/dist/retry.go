@@ -94,7 +94,7 @@ func dialRetry(name, addr string, policy RetryPolicy, chaos *Chaos, tag string) 
 		jit:    rng.New(0xC0FFEE ^ uint64(len(addr))<<16 ^ uint64(len(name))),
 	}
 	rc.ctx, rc.cancel = context.WithCancel(context.Background())
-	rc.setCounters(obs.NewQuietHub().Reg)
+	rc.bindMetrics(obs.NewQuietHub().Reg)
 	c, err := rc.dial()
 	if err != nil {
 		return nil, err
@@ -103,9 +103,9 @@ func dialRetry(name, addr string, policy RetryPolicy, chaos *Chaos, tag string) 
 	return rc, nil
 }
 
-// setCounters (re)binds the retry/reconnect counters, so remoteStore.SetObs
+// bindMetrics (re)binds the retry/reconnect counters, so remoteStore.SetObs
 // can move an already-dialed client onto the run's registry.
-func (rc *retryClient) setCounters(reg *obs.Registry) {
+func (rc *retryClient) bindMetrics(reg *obs.Registry) {
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	rc.retries = reg.Counter("pbg_dist_rpc_retries_total")
@@ -148,7 +148,7 @@ func (rc *retryClient) dropConn(c *rpc.Client) {
 	if rc.c == c {
 		rc.c = nil
 	}
-	c.Close()
+	_ = c.Close()
 }
 
 // callOnce performs a single attempt with the per-call timeout, applying any

@@ -132,7 +132,7 @@ func dialStore(schema *graph.Schema, dim int, initScale float32, readonly bool, 
 	for _, addr := range addrs {
 		c, err := dialRetry("partition server", addr, o.policy, o.chaos, o.tag)
 		if err != nil {
-			s.Close()
+			_ = s.Close()
 			return nil, err
 		}
 		s.clients = append(s.clients, c)
@@ -160,7 +160,7 @@ func (s *remoteStore) SetObs(h *obs.Hub) {
 	s.obs = h
 	s.m = newDistStoreMetrics(h.Reg)
 	for _, c := range s.clients {
-		c.setCounters(h.Reg)
+		c.bindMetrics(h.Reg)
 	}
 }
 

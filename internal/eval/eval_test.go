@@ -277,7 +277,9 @@ func TestEmptyTrailingPartitionTrainsAndEvaluates(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	tr, err := train.New(g, store, train.Config{Dim: 8, Epochs: 2, Seed: 5, Workers: 2})
+	// Striped-lock mode: this test runs under -race, where two pure-HOGWILD
+	// workers racing on embedding rows would (correctly) be reported.
+	tr, err := train.New(g, store, train.Config{Dim: 8, Epochs: 2, Seed: 5, Workers: 2, HogwildOff: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags resource-teardown calls whose error return is silently
+// discarded as a bare statement: Close, Flush, Release, Drain, and Sync all
+// surface deferred write-back failures in this codebase (DiskStore's async
+// snapshot errors are sticky and deliver on exactly these calls — dropping
+// them drops a corrupted-checkpoint signal). A discarded error must be
+// explicit: assign it (`_ = f.Close()`) or handle it.
+//
+// `defer f.Close()` is exempt: it is the accepted teardown idiom for
+// read-only handles, and wrapping every defer in a closure costs more than
+// it catches. Deferred *write* paths should use named-error wrappers
+// instead, which this analyzer leaves to review.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "Close/Flush/Release/Drain/Sync errors must not be silently discarded",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			switch name {
+			case "Close", "Flush", "Release", "Drain", "Sync":
+			default:
+				return true
+			}
+			if !returnsError(pass.TypesInfo, call) {
+				return true
+			}
+			recv := ""
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				recv = exprString(sel.X) + "."
+			}
+			pass.Reportf(call.Pos(), "error from %s%s discarded; handle it or make the drop explicit with `_ =`", recv, name)
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any of the call's results is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok {
+			if named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+				return true
+			}
+		}
+	}
+	return false
+}

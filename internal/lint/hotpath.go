@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathDirective marks a function whose body must stay allocation-free:
+// the HOGWILD worker loop, the vec kernels, the serve scan/heap path, and
+// the DiskStore fast paths. The pipelined executor's throughput (PR 2) rests
+// on these paths never touching the allocator or the scheduler per edge.
+const HotPathDirective = "//pbg:hotpath"
+
+// HotPathAlloc flags allocation and scheduling hazards inside functions
+// annotated //pbg:hotpath: fmt calls, closure literals, defer, go
+// statements, map iteration, non-self appends (append must write back to
+// its own first argument, the amortized-zero-alloc buffer-reuse idiom), and
+// implicit interface conversions at call sites (which box the value).
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions annotated //pbg:hotpath must stay free of allocation and scheduling hazards",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	funcDecls(pass, func(fd *ast.FuncDecl) {
+		if !hasDirective(fd.Doc, HotPathDirective) {
+			return
+		}
+		checkHotBody(pass, fd)
+	})
+	return nil
+}
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	parent := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parent[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path allocates; hoist it out of %s", fd.Name.Name)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path; %s must release resources inline", fd.Name.Name)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launch in hot path %s", fd.Name.Name)
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration in hot path %s: order is nondeterministic and the hidden iterator defeats bounds-check elimination; index a slice instead", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, parent)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, parent map[ast.Node]ast.Node) {
+	info := pass.TypesInfo
+
+	// Conversions: flag conversions to interface types (they box).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := info.Types[call.Args[0]]; ok && atv.Type != nil && !types.IsInterface(atv.Type) {
+				pass.Reportf(call.Pos(), "conversion to interface %s in hot path %s allocates", tv.Type, fd.Name.Name)
+			}
+		}
+		return
+	}
+
+	if pkg := calleePkg(info, call); pkg != nil && pkg.Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path %s: formatting allocates and boxes every operand", calleeName(call), fd.Name.Name)
+		return
+	}
+
+	// append: only the self-append idiom (x = append(x, ...) or
+	// x = append(x[:0], ...)) is amortized allocation-free.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+			if !isSelfAppend(call, parent[call]) {
+				pass.Reportf(call.Pos(), "append in hot path %s does not write back to its own first argument; grown slices escape the buffer-reuse idiom", fd.Name.Name)
+			}
+			return
+		}
+	}
+
+	// Implicit interface conversions at call boundaries box the argument.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1 && call.Ellipsis == 0:
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil || types.IsInterface(atv.Type) || atv.IsNil() {
+			continue
+		}
+		if atv.Value != nil {
+			// Constants (panic("msg"), log levels, …) box into static
+			// descriptors at compile time — no per-call allocation.
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument %s converts to interface %s in hot path %s (boxing allocation)", exprString(arg), param, fd.Name.Name)
+	}
+}
+
+// isSelfAppend reports whether call is `x = append(x, ...)` or
+// `x = append(x[:0], ...)` (modulo formatting), i.e. the append result is
+// assigned back over its own first argument.
+func isSelfAppend(call *ast.CallExpr, parent ast.Node) bool {
+	asg, ok := parent.(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Rhs[0] != call || len(call.Args) == 0 {
+		return false
+	}
+	dst := exprString(asg.Lhs[0])
+	src := call.Args[0]
+	if sl, ok := src.(*ast.SliceExpr); ok {
+		// append(x[:0], ...) and append(x[:n], ...) reuse x's backing array.
+		return exprString(sl.X) == dst
+	}
+	return exprString(src) == dst
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RangeMapDet flags argmin/argmax selections fed by map iteration: a
+// `for … := range m` over a map whose body conditionally assigns to state
+// declared outside the loop under a </> comparison, with no deterministic
+// tie-break in the condition. This is the exact bug class PR 5 fixed twice
+// (SwapCostUnderBuffer and OptimizeOrder victim selection drifting run to
+// run): when two candidates tie, map iteration order picks the winner.
+//
+// A condition that also compares with == (the tie-break idiom
+// `cost < best || (cost == best && k < bestKey)`) is accepted; so is
+// iterating a sorted key slice, which this analyzer never sees a map range
+// for.
+var RangeMapDet = &Analyzer{
+	Name: "rangemapdet",
+	Doc:  "min/max/argbest selection must not depend on map iteration order",
+	Run:  runRangeMapDet,
+}
+
+func runRangeMapDet(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !hasOrderedCmp(ifs.Cond) || hasTieBreak(ifs.Cond) {
+			return true
+		}
+		// The guarded branch must write selection state that outlives the
+		// loop; writes to loop-local state are just per-iteration logic.
+		var sel ast.Node
+		ast.Inspect(ifs.Body, func(m ast.Node) bool {
+			asg, ok := m.(*ast.AssignStmt)
+			if !ok || asg.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range asg.Lhs {
+				if assignsOutside(info, lhs, rs) {
+					sel = asg
+					return false
+				}
+			}
+			return true
+		})
+		if sel != nil {
+			pass.Reportf(sel.Pos(), "argbest selection over map iteration order: ties resolve nondeterministically; iterate sorted keys or add a deterministic tie-break (… || (cmp == best && key < bestKey))")
+		}
+		return true
+	})
+}
+
+// hasOrderedCmp reports whether e contains a < <= > >= comparison.
+func hasOrderedCmp(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ:
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasTieBreak reports whether e contains an == comparison — the shape of an
+// explicit deterministic tie-break clause.
+func hasTieBreak(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok && b.Op == token.EQL {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// assignsOutside reports whether lhs writes state declared outside the range
+// statement. Non-identifier targets (fields, index expressions) are treated
+// as outside: their container almost always outlives the loop.
+func assignsOutside(info *types.Info, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	if id.Name == "_" {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}

@@ -1,0 +1,34 @@
+// Fixture for the errdrop analyzer: teardown errors must not vanish as
+// bare statements.
+package errdrop
+
+import "os"
+
+type conn struct{}
+
+func (c *conn) Close() error   { return nil }
+func (c *conn) Flush() error   { return nil }
+func (c *conn) Release() error { return nil }
+func (c *conn) Drain() error   { return nil }
+func (c *conn) Stop()          {} // no error result
+
+func dropped(c *conn) {
+	c.Close()   // want `error from c\.Close discarded`
+	c.Flush()   // want `error from c\.Flush discarded`
+	c.Release() // want `error from c\.Release discarded`
+	c.Drain()   // want `error from c\.Drain discarded`
+}
+
+func handled(c *conn) error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	_ = c.Drain()   // explicit discard is the author saying "I mean it"
+	defer c.Close() // the accepted read-only teardown idiom
+	c.Stop()        // no error to drop
+	f, err := os.Open("x")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,60 @@
+// Fixture for the hotpathalloc analyzer: //pbg:hotpath functions must stay
+// free of allocation and scheduling hazards.
+package hotpath
+
+import "fmt"
+
+func release()   {}
+func run()       {}
+func sink(v any) { _ = v }
+
+//pbg:hotpath
+func bad(xs []int, m map[int]int) int {
+	defer release()              // want "defer in hot path"
+	go run()                     // want "goroutine launch in hot path"
+	f := func() int { return 1 } // want "closure literal in hot path"
+	total := 0
+	for k, v := range m { // want "map iteration in hot path"
+		total += k + v
+	}
+	fmt.Println(total) // want `fmt\.Println in hot path`
+	var ys []int
+	ys = append(xs, 1) // want "append in hot path bad does not write back to its own first argument"
+	sink(total)        // want "argument total converts to interface"
+	return f() + len(ys)
+}
+
+// good shows the approved idioms: self-appends reuse the buffer, constants
+// box statically, and panics with constant messages stay allocation-free.
+//
+//pbg:hotpath
+func good(xs []int, m map[int]int, keys []int) int {
+	if m == nil {
+		panic("hotpath: nil map")
+	}
+	total := 0
+	for _, k := range keys { // sorted keys, not the map itself
+		total += m[k]
+	}
+	xs = append(xs, total)     // self-append: writes back to its own slice
+	xs = append(xs[:0], 1, 2)  // truncate-and-refill reuses the buffer
+	sink("constant is static") // constants box into static descriptors
+	return total + len(xs)
+}
+
+// suppressed pins the //lint:ignore contract: a reasoned directive on the
+// line above the finding silences it.
+//
+//pbg:hotpath
+func suppressed() {
+	//lint:ignore hotpathalloc fixture demonstrating that reasoned suppressions are honored
+	defer release()
+}
+
+// unannotated functions may do whatever they like.
+func unannotated(m map[int]int) {
+	defer release()
+	for range m {
+		fmt.Println("fine here")
+	}
+}

@@ -1,0 +1,105 @@
+// Fixture for the lockcall analyzer: no blocking operations while a mutex
+// is held.
+package lockcall
+
+import (
+	"net/rpc"
+	"os"
+	"sync"
+	"time"
+
+	"pbg/internal/storage"
+)
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (s *S) channelBad() {
+	s.mu.Lock()
+	<-s.ch    // want "channel receive while holding s.mu"
+	s.ch <- 1 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *S) sleepUnderDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu`
+}
+
+func (s *S) diskBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = os.ReadFile("state") // want `os\.ReadFile while holding s\.mu`
+}
+
+func (s *S) rpcBad(c *rpc.Client) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = c.Call("M.F", 1, nil) // want `rpc c\.Call while holding s\.mu`
+}
+
+func (s *S) storageBad(st *storage.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = st.Flush() // want `storage Store\.Flush while holding s\.mu`
+}
+
+func (s *S) selectBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select while holding s.mu"
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+}
+
+// unlockFirst is the approved shape: drop the lock, then block.
+func (s *S) unlockFirst() {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	if n == 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// unlockWaitRelock is the condition-wait idiom (dist remoteStore.Acquire):
+// the lock is dropped around the blocking wait and retaken after.
+func (s *S) unlockWaitRelock() {
+	s.mu.Lock()
+	for s.n == 0 {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		s.mu.Lock()
+	}
+	s.n--
+	s.mu.Unlock()
+}
+
+// earlyUnlockReturn: the branch unlocks before returning, so the
+// fall-through still holds but the branch body is clean.
+func (s *S) earlyUnlockReturn() {
+	s.mu.Lock()
+	if s.n == 0 {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return
+	}
+	s.n--
+	s.mu.Unlock()
+}
+
+// closureEscapes: function literals are not interpreted as running under
+// the lock — they usually run after release.
+func (s *S) closureEscapes() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		time.Sleep(time.Millisecond)
+	}
+}

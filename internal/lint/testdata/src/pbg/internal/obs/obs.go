@@ -1,0 +1,36 @@
+// Package obs is a fixture stub mirroring the real pbg/internal/obs API
+// surface the obshandle analyzer keys on: a mutex-guarded Registry that
+// resolves Counter/Gauge/Histogram handles by name. Analyzers match package
+// paths by suffix, so this stub triggers the same logic as the real package.
+package obs
+
+// Counter is a monotonic metric handle.
+type Counter struct{ v int64 }
+
+// Inc increments the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge is a set-to-current-value metric handle.
+type Gauge struct{ v int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Histogram is a distribution metric handle.
+type Histogram struct{ n int64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) { h.n++ }
+
+// Registry resolves metric handles by name (mutex-guarded in the real
+// implementation — which is exactly why lookups belong in constructors).
+type Registry struct{}
+
+// Counter returns the counter registered under name.
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+// Gauge returns the gauge registered under name.
+func (r *Registry) Gauge(name string) *Gauge { return &Gauge{} }
+
+// Histogram returns the histogram registered under name.
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }

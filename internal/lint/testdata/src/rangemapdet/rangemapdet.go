@@ -1,0 +1,72 @@
+// Fixture for the rangemapdet analyzer: argbest selection over map
+// iteration order is nondeterministic on ties.
+package rangemapdet
+
+type state struct {
+	best int
+	key  string
+}
+
+// argbestBad is the PR-5 bug class: the winner on a cost tie depends on map
+// iteration order.
+func argbestBad(costs map[string]int) string {
+	best := ""
+	bestCost := int(^uint(0) >> 1)
+	for k, c := range costs {
+		if c < bestCost {
+			bestCost = c
+			best = k // want "argbest selection over map iteration order"
+		}
+	}
+	return best
+}
+
+// argbestField writes the selection into a struct that outlives the loop.
+func argbestField(s *state, costs map[string]int) {
+	for k, c := range costs {
+		if c < s.best {
+			s.best = c
+			s.key = k // want "argbest selection over map iteration order"
+		}
+	}
+}
+
+// tieBreak carries the deterministic tie-break clause, so ties cannot
+// resolve by iteration order.
+func tieBreak(costs map[string]int) string {
+	best := ""
+	bestCost := int(^uint(0) >> 1)
+	for k, c := range costs {
+		if c < bestCost || (c == bestCost && k < best) {
+			bestCost = c
+			best = k
+		}
+	}
+	return best
+}
+
+// sortedKeys iterates a slice, which has a defined order.
+func sortedKeys(keys []string, costs map[string]int) string {
+	best := ""
+	bestCost := int(^uint(0) >> 1)
+	for _, k := range keys {
+		if c := costs[k]; c < bestCost {
+			bestCost = c
+			best = k
+		}
+	}
+	return best
+}
+
+// loopLocal only writes per-iteration state; nothing outlives the loop.
+func loopLocal(costs map[string]int) int {
+	total := 0
+	for _, c := range costs {
+		clamped := 0
+		if c < 100 {
+			clamped = c
+		}
+		total += clamped
+	}
+	return total
+}

@@ -59,7 +59,7 @@ func TestTraceEndpointWithoutTracer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("/trace without tracer = %d, want 404", resp.StatusCode)
 	}

@@ -65,6 +65,8 @@ type scored struct {
 }
 
 // after reports whether a ranks after b under the shared eval ordering.
+//
+//pbg:hotpath
 func after(a, b scored) bool {
 	return eval.CompareScored(b.score, b.id, a.score, a.id)
 }
@@ -82,6 +84,7 @@ func (t *topkHeap) reset(k int) {
 	t.h = t.h[:0]
 }
 
+//pbg:hotpath
 func (t *topkHeap) push(id int32, score float32) {
 	c := scored{id: id, score: score}
 	if len(t.h) < t.k {
@@ -183,6 +186,8 @@ func (v *view) gatherQueries(ws *workspace, rel int, srcOf func(i int) (int32, [
 // scoreCandidateBlock copies the given rows into scratch, prepares them, and
 // cross-scores them against the prepared queries tq. ids maps block row j to
 // the candidate's global ID; scores land in the returned n×m matrix.
+//
+//pbg:hotpath
 func (v *view) scoreCandidateBlock(ws *workspace, rel int, tq vec.Matrix, rows vec.Matrix, lo, m int) vec.Matrix {
 	dim := v.ss.dim
 	sc := v.scorers[rel]
@@ -200,6 +205,8 @@ func (v *view) scoreCandidateBlock(ws *workspace, rel int, tq vec.Matrix, rows v
 // fp32 matrix: rows [lo, lo+m) of shard (t, p) are filled into scratch at
 // whatever precision the shard holds (quantized cells dequantize through the
 // vec kernels during the fill), prepared, and cross-scored against tq.
+//
+//pbg:hotpath
 func (v *view) scoreShardBlock(ws *workspace, rel int, tq vec.Matrix, t, p, lo, m int, preferQuant bool) vec.Matrix {
 	dim := v.ss.dim
 	sc := v.scorers[rel]

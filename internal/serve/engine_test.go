@@ -16,7 +16,7 @@ func openServer(t *testing.T, f *servetest.Fixture, mode serve.Mode) *serve.Serv
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { s.Close() })
+	t.Cleanup(func() { _ = s.Close() })
 	return s
 }
 

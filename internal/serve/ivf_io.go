@@ -50,7 +50,7 @@ func WriteIVF(path string, idx *IVF) error {
 		}
 	}
 	if err := writeU32s(w, ivfMagic, ivfVersion, uint32(idx.Dim), uint32(ntypes)); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	for t, it := range idx.Types {
@@ -58,26 +58,26 @@ func WriteIVF(path string, idx *IVF) error {
 			continue
 		}
 		if err := writeU32s(w, uint32(t), uint32(len(it.Parts))); err != nil {
-			tmp.Close()
+			_ = tmp.Close()
 			return err
 		}
 		for _, p := range it.Parts {
 			if err := writeU32s(w, uint32(len(p.Lists))); err != nil {
-				tmp.Close()
+				_ = tmp.Close()
 				return err
 			}
 			if err := writeFloats(w, p.Centroids.Data); err != nil {
-				tmp.Close()
+				_ = tmp.Close()
 				return err
 			}
 			for _, l := range p.Lists {
 				if err := writeU32s(w, uint32(len(l))); err != nil {
-					tmp.Close()
+					_ = tmp.Close()
 					return err
 				}
 				for _, id := range l {
 					if err := writeU32s(w, uint32(id)); err != nil {
-						tmp.Close()
+						_ = tmp.Close()
 						return err
 					}
 				}
@@ -85,11 +85,11 @@ func WriteIVF(path string, idx *IVF) error {
 		}
 	}
 	if err := w.Flush(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {

@@ -62,6 +62,8 @@ type quantRows struct {
 }
 
 // fill dequantizes rows [lo, lo+m) into the first m rows of dst.
+//
+//pbg:hotpath
 func (q *quantRows) fill(dst vec.Matrix, lo, m int) {
 	for j := 0; j < m; j++ {
 		q.copyRow(dst.Row(j), lo+j)
@@ -69,6 +71,8 @@ func (q *quantRows) fill(dst vec.Matrix, lo, m int) {
 }
 
 // copyRow dequantizes row r into dst (len cols).
+//
+//pbg:hotpath
 func (q *quantRows) copyRow(dst []float32, r int) {
 	switch q.codec {
 	case storage.CodecFP16:

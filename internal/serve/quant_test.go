@@ -18,7 +18,7 @@ func openQuantServer(t *testing.T, f *servetest.Fixture, dir string, quant serve
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { s.Close() })
+	t.Cleanup(func() { _ = s.Close() })
 	return s
 }
 

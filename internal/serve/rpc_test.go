@@ -15,12 +15,12 @@ func dialTestServer(t *testing.T, f *servetest.Fixture) (*serve.Server, *serve.C
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { front.Close() })
+	t.Cleanup(func() { _ = front.Close() })
 	c, err := serve.Dial(front.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { c.Close() })
+	t.Cleanup(func() { _ = c.Close() })
 	return s, c
 }
 

@@ -87,7 +87,7 @@ func (v *view) tryAcquire() bool {
 
 func (v *view) release() {
 	if v.refs.Add(-1) == 0 {
-		v.ss.Close()
+		_ = v.ss.Close()
 	}
 }
 
@@ -209,7 +209,7 @@ func (s *Server) loadView(dir string) (*view, error) {
 	if _, statErr := os.Stat(relPath); statErr == nil {
 		rs, err = storage.ReadRelations(relPath)
 		if err != nil {
-			ss.Close()
+			_ = ss.Close()
 			return nil, err
 		}
 	}
@@ -217,7 +217,7 @@ func (s *Server) loadView(dir string) (*view, error) {
 		rel := &schema.Relations[r]
 		sc, err := model.NewScorer(s.cfg.Dim, rel.Operator, s.cfg.Comparator, "ranking", 1, s.cfg.Reciprocal)
 		if err != nil {
-			ss.Close()
+			_ = ss.Close()
 			return nil, err
 		}
 		v.scorers[r] = sc
@@ -227,7 +227,7 @@ func (s *Server) loadView(dir string) (*view, error) {
 		sc.InitRelParams(params)
 		if rs != nil {
 			if r >= len(rs.Params) || len(rs.Params[r]) != len(params) {
-				ss.Close()
+				_ = ss.Close()
 				return nil, fmt.Errorf("serve: relation %d parameter block mismatch (checkpoint %d floats, scorer wants %d — check -comparator/-reciprocal)", r, len(rs.Params[r]), len(params))
 			}
 			copy(params, rs.Params[r])
@@ -239,7 +239,7 @@ func (s *Server) loadView(dir string) (*view, error) {
 	if _, statErr := os.Stat(IndexPath(dir)); statErr == nil {
 		ivf, err := ReadIVF(IndexPath(dir), schema, s.cfg.Dim)
 		if err != nil {
-			ss.Close()
+			_ = ss.Close()
 			return nil, err
 		}
 		v.ivf = ivf

@@ -105,12 +105,15 @@ func Shared(tb testing.TB, cfg FixtureConfig) *Fixture {
 // from the test package's TestMain after m.Run().
 func Cleanup() {
 	fixturesMu.Lock()
-	defer fixturesMu.Unlock()
-	for _, dir := range fixtureDirs {
-		os.RemoveAll(dir)
-	}
+	dirs := fixtureDirs
 	fixtureDirs = nil
 	fixtures = map[FixtureConfig]*Fixture{}
+	fixturesMu.Unlock()
+	// Disk I/O happens outside the lock: a slow filesystem must not stall
+	// a concurrent Shared call.
+	for _, dir := range dirs {
+		_ = os.RemoveAll(dir)
+	}
 }
 
 func build(cfg FixtureConfig) (*Fixture, error) {
@@ -145,6 +148,9 @@ func build(cfg FixtureConfig) (*Fixture, error) {
 		Comparator: cfg.Comparator,
 		Seed:       cfg.Seed,
 		Workers:    2,
+		// Fixtures build inside race-enabled test binaries; pure HOGWILD
+		// races on embedding rows by design, so use the striped-lock mode.
+		HogwildOff: true,
 	})
 	if err != nil {
 		os.RemoveAll(dir)

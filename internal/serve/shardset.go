@@ -170,6 +170,8 @@ func (s *shardRows) copyRow(dst []float32, r int) {
 // fillBlock copies rows [lo, lo+m) into the first m rows of dst. With
 // preferQuant the quantized view is used when attached (the scan path);
 // otherwise fp32 wins and quant is the fallback for quant-only shards.
+//
+//pbg:hotpath
 func (s *shardRows) fillBlock(dst vec.Matrix, lo, m int, preferQuant bool) {
 	if s.quant != nil && (preferQuant || !s.fp32) {
 		s.quant.fill(dst, lo, m)
@@ -384,14 +386,14 @@ func OpenShardSet(dir string, schema *graph.Schema, dim int, mode Mode, quant Qu
 			path := storage.ShardPath(dir, t, p)
 			sr, err := openShard(path, storage.QuantShardPath(dir, t, p), t, p, dim, mode, quant)
 			if err != nil {
-				ss.Close()
+				_ = ss.Close()
 				return nil, err
 			}
 			wantRows := ent.PartitionCount(p)
 			if sr.count != wantRows {
 				got := sr.count
 				sr.close()
-				ss.Close()
+				_ = ss.Close()
 				return nil, fmt.Errorf("serve: shard %s has %d rows, schema expects %d", path, got, wantRows)
 			}
 			ss.shards[t][p] = sr
@@ -406,7 +408,7 @@ func OpenShardSet(dir string, schema *graph.Schema, dim int, mode Mode, quant Qu
 			if sr.quant != nil {
 				if ss.quantN > 0 && sr.quant.codec != ss.quantCodec {
 					c := sr.quant.codec
-					ss.Close() // sr is already owned by ss.shards
+					_ = ss.Close() // sr is already owned by ss.shards
 					return nil, fmt.Errorf("serve: mixed quantized codecs in %s (%v and %v)", dir, ss.quantCodec, c)
 				}
 				ss.quantCodec = sr.quant.codec
@@ -457,6 +459,8 @@ func (ss *ShardSet) copyLocalRow(typeIdx, part, local int, dst []float32) {
 
 // fillBlock copies rows [lo, lo+m) of shard (typeIdx, part) into the first
 // m rows of dst; preferQuant selects the quantized view when attached.
+//
+//pbg:hotpath
 func (ss *ShardSet) fillBlock(typeIdx, part, lo, m int, dst vec.Matrix, preferQuant bool) {
 	ss.shards[typeIdx][part].fillBlock(dst, lo, m, preferQuant)
 }

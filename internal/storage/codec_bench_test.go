@@ -57,7 +57,7 @@ func BenchmarkFloatEncodeDirect(b *testing.B) {
 		if err := writeFloats(w, sh.Embs); err != nil {
 			b.Fatal(err)
 		}
-		w.Flush()
+		_ = w.Flush()
 	}
 }
 
@@ -70,6 +70,6 @@ func BenchmarkFloatEncodeReflect(b *testing.B) {
 		if err := binary.Write(w, binary.LittleEndian, sh.Embs); err != nil {
 			b.Fatal(err)
 		}
-		w.Flush()
+		_ = w.Flush()
 	}
 }

@@ -122,6 +122,8 @@ func (s *Shard) Init(r *rng.RNG, scale float32) {
 }
 
 // Row returns embedding row i as a slice view.
+//
+//pbg:hotpath
 func (s *Shard) Row(i int) []float32 {
 	return s.Embs[i*s.Dim : (i+1)*s.Dim]
 }
@@ -159,12 +161,12 @@ func writeFileAtomic(path string, emit func(w *bufio.Writer) error) error {
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
 	if err := emit(w); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 		return err
 	}

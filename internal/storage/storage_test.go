@@ -122,10 +122,15 @@ func TestMemStoreShardsPersistAcrossReleases(t *testing.T) {
 	st := NewMemStore(testSchema(t), 8, 1, 1)
 	a, _ := st.Acquire(0, 0)
 	a.Row(0)[0] = 123
-	st.Release(0, 0)
+	if err := st.Release(0, 0); err != nil {
+		t.Fatal(err)
+	}
 	b, _ := st.Acquire(0, 0)
 	if b.Row(0)[0] != 123 {
 		t.Fatal("MemStore dropped shard state")
+	}
+	if err := st.Release(0, 0); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -163,6 +168,9 @@ func TestDiskStoreSwapsToDisk(t *testing.T) {
 	if sh2.Row(1)[3] != 7.5 || sh2.Acc[1] != 2.0 {
 		t.Fatal("state lost through disk round trip")
 	}
+	if err := st.Release(0, 2); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDiskStoreRefCounting(t *testing.T) {
@@ -173,12 +181,16 @@ func TestDiskStoreRefCounting(t *testing.T) {
 	if a != b {
 		t.Fatal("double acquire returned different shards")
 	}
-	st.Release(0, 0)
+	if err := st.Release(0, 0); err != nil {
+		t.Fatal(err)
+	}
 	// Still referenced: must stay resident.
 	if st.ResidentBytes() == 0 {
 		t.Fatal("shard evicted while still referenced")
 	}
-	st.Release(0, 0)
+	if err := st.Release(0, 0); err != nil {
+		t.Fatal(err)
+	}
 	if err := st.Drain(); err != nil {
 		t.Fatal(err)
 	}
@@ -211,6 +223,15 @@ func TestDiskStoreDeterministicInitAcrossStores(t *testing.T) {
 	if same {
 		t.Fatal("different partitions initialised identically")
 	}
+	if err := s1.Release(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Release(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Release(0, 1); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDiskStoreFlushKeepsResident(t *testing.T) {
@@ -230,6 +251,9 @@ func TestDiskStoreFlushKeepsResident(t *testing.T) {
 	}
 	if got.Row(0)[0] != 5 {
 		t.Fatal("Flush did not persist state")
+	}
+	if err := st.Release(1, 0); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -391,8 +415,11 @@ func TestDiskStorePrefetch(t *testing.T) {
 	if again != got {
 		t.Fatal("Acquire after prefetch returned a different shard copy")
 	}
-	st.Release(0, 1)
-	st.Release(0, 1)
+	for i := 0; i < 2; i++ {
+		if err := st.Release(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}

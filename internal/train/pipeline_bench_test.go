@@ -121,7 +121,7 @@ func BenchmarkEpochPipelineObs(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Cleanup(func() { store.Close() })
+		b.Cleanup(func() { _ = store.Close() })
 		tr, err := New(g, store, Config{
 			Dim: dim, Seed: 3, Workers: 2, UniformNegs: 10, ChunkSize: 10,
 			Obs: hub,

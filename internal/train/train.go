@@ -862,11 +862,14 @@ func (t *Trainer) runBucket(b partition.Bucket, lo, hi int, shards map[shardKey]
 type workerState struct {
 	ws *model.Workspace
 	// grads[rel] holds relation rel's gradient buffers (operator parameter
-	// counts differ between relations, so these cannot be shared).
-	grads map[int32]*model.ChunkGrad
+	// counts differ between relations, so these cannot be shared). Indexed
+	// by relation so the worker loop walks relations in schema order.
+	grads []*model.ChunkGrad
 	// byRel groups the worker's edge indices by relation; the slices are
-	// truncated and refilled each bucket.
-	byRel   map[int32][]int
+	// truncated and refilled each bucket. Relation-indexed (not a map) so
+	// chunk processing order — and with it the negative-sampling RNG
+	// stream — is deterministic for a fixed seed.
+	byRel   [][]int
 	inBuf   model.ChunkInput
 	srcBuf  []float32
 	dstBuf  []float32
@@ -880,9 +883,10 @@ type workerState struct {
 
 func (t *Trainer) newWorkerState() *workerState {
 	c, u, d := t.cfg.ChunkSize, t.cfg.UniformNegs, t.cfg.Dim
+	nrel := len(t.g.Schema.Relations)
 	return &workerState{
-		grads: make(map[int32]*model.ChunkGrad),
-		byRel: make(map[int32][]int),
+		grads: make([]*model.ChunkGrad, nrel),
+		byRel: make([][]int, nrel),
 		inBuf: model.ChunkInput{
 			SrcIDs: make([]int32, c), DstIDs: make([]int32, c),
 			USrcIDs: make([]int32, u), UDstIDs: make([]int32, u),
@@ -896,6 +900,10 @@ func (t *Trainer) newWorkerState() *workerState {
 
 // workerLoop is one HOGWILD worker: it groups its edge indices by relation
 // (batches share a relation, §4.3 last paragraph) and processes chunks.
+// Relations are walked in schema order — byRel is relation-indexed, never a
+// map — so a fixed seed replays the identical chunk and RNG sequence.
+//
+//pbg:hotpath
 func (t *Trainer) workerLoop(st *workerState, b partition.Bucket, shards map[shardKey]shardRef, idx []int, base int, r *rng.RNG) (float64, error) {
 	c := t.cfg.ChunkSize
 	u := t.cfg.UniformNegs
@@ -910,7 +918,7 @@ func (t *Trainer) workerLoop(st *workerState, b partition.Bucket, shards map[sha
 		byRel[rel] = append(byRel[rel], base+i)
 	}
 
-	in := &model.ChunkInput{}
+	in := &st.inBuf
 
 	// Gather vs score time accumulates in locals and lands on the shared
 	// counters once per bucket, so the per-chunk hot path stays free of
@@ -918,7 +926,8 @@ func (t *Trainer) workerLoop(st *workerState, b partition.Bucket, shards map[sha
 	var gatherNs, scoreNs int64
 
 	var total float64
-	for rel, list := range byRel {
+	for rel := range byRel {
+		list := byRel[rel]
 		if len(list) == 0 {
 			continue
 		}
@@ -930,16 +939,16 @@ func (t *Trainer) workerLoop(st *workerState, b partition.Bucket, shards map[sha
 			st.ws = sc.NewWorkspace(c, u)
 		}
 		ws := st.ws
-		grad, ok := st.grads[rel]
-		if !ok {
+		grad := st.grads[rel]
+		if grad == nil {
 			grad = sc.NewChunkGrad(c, u)
 			st.grads[rel] = grad
 		}
 		relCfg := t.g.Schema.Relations[rel]
-		srcRef := t.lookupRef(shards, t.relSrc[int(rel)], b.P1)
-		dstRef := t.lookupRef(shards, t.relDst[int(rel)], b.P2)
-		srcSmp := t.samplers.ForRelationSource(rel, b.P1)
-		dstSmp := t.samplers.ForRelationDest(rel, b.P2)
+		srcRef := t.lookupRef(shards, t.relSrc[rel], b.P1)
+		dstRef := t.lookupRef(shards, t.relDst[rel], b.P2)
+		srcSmp := t.samplers.ForRelationSource(int32(rel), b.P1)
+		dstSmp := t.samplers.ForRelationDest(int32(rel), b.P2)
 		fwd, rev := sc.SplitRelParams(t.relParams[rel])
 
 		for chunkLo := 0; chunkLo < len(list); chunkLo += c {
@@ -1024,6 +1033,8 @@ func (t *Trainer) lookupRef(shards map[shardKey]shardRef, typeIdx, part int) sha
 // striped-lock (HogwildOff) mode each row is copied under its stripe so the
 // read cannot race a concurrent applyRows update; in HOGWILD mode the copy
 // is lock-free and any torn read is the paper's benign race.
+//
+//pbg:hotpath
 func (t *Trainer) gather(buf []float32, ref shardRef, ids []int32, d int) vec.Matrix {
 	m := vec.MatrixFrom(buf[:len(ids)*d], len(ids), d)
 	if t.cfg.HogwildOff {
@@ -1042,6 +1053,8 @@ func (t *Trainer) gather(buf []float32, ref shardRef, ids []int32, d int) vec.Ma
 }
 
 // applyRows applies per-row Adagrad updates for the gathered gradient block.
+//
+//pbg:hotpath
 func (t *Trainer) applyRows(ref shardRef, ids []int32, grads []float32, d int) {
 	for k, id := range ids {
 		g := grads[k*d : (k+1)*d]

@@ -27,6 +27,8 @@ const MaxF16 = 65504
 // F16Bits converts a float32 to IEEE binary16 bits with round-to-nearest-
 // even. Overflow (and ±Inf) clamps to the maximum finite half instead of
 // producing an infinity; NaN maps to a quiet half NaN.
+//
+//pbg:hotpath
 func F16Bits(x float32) uint16 {
 	u := math.Float32bits(x)
 	sign := uint16(u>>16) & 0x8000
@@ -79,6 +81,8 @@ func F16Bits(x float32) uint16 {
 // every half value (normals, subnormals, ±Inf, NaN) is representable in
 // float32. Well-formed codec data never contains Inf (F16Bits clamps), but
 // hostile bytes decode without widening surprises all the same.
+//
+//pbg:hotpath
 func F16Value(h uint16) float32 {
 	sign := uint32(h&0x8000) << 16
 	e := uint32(h>>10) & 0x1f
@@ -108,6 +112,8 @@ func F16Value(h uint16) float32 {
 }
 
 // QuantF16 encodes src into dst elementwise via F16Bits. Lengths must match.
+//
+//pbg:hotpath
 func QuantF16(dst []uint16, src []float32) {
 	if len(dst) != len(src) {
 		panic("vec: QuantF16 length mismatch")
@@ -119,6 +125,8 @@ func QuantF16(dst []uint16, src []float32) {
 
 // DequantF16 decodes src into dst elementwise via F16Value. Lengths must
 // match. This is the fp16 serving scan's row-expansion kernel.
+//
+//pbg:hotpath
 func DequantF16(dst []float32, src []uint16) {
 	if len(dst) != len(src) {
 		panic("vec: DequantF16 length mismatch")
@@ -132,6 +140,8 @@ func DequantF16(dst []float32, src []uint16) {
 // An all-zero row (or an empty one) returns 0, which QuantI8/DequantI8
 // treat as "the row is exactly zero". Non-finite elements saturate the
 // scale to +Inf-free MaxFloat32/127 so quantization stays defined.
+//
+//pbg:hotpath
 func I8RowScale(row []float32) float32 {
 	var maxAbs float32
 	for _, x := range row {
@@ -153,6 +163,8 @@ func I8RowScale(row []float32) float32 {
 // QuantI8 encodes src as round-to-nearest int8 under scale, clamped to
 // [-127, 127] (the symmetric range; -128 is never produced). A zero scale
 // writes zeros. Lengths must match.
+//
+//pbg:hotpath
 func QuantI8(dst []int8, src []float32, scale float32) {
 	if len(dst) != len(src) {
 		panic("vec: QuantI8 length mismatch")
@@ -177,6 +189,8 @@ func QuantI8(dst []int8, src []float32, scale float32) {
 
 // DequantI8 decodes src into dst as float32(q)·scale. Lengths must match.
 // This is the int8 serving scan's row-expansion kernel.
+//
+//pbg:hotpath
 func DequantI8(dst []float32, src []int8, scale float32) {
 	if len(dst) != len(src) {
 		panic("vec: DequantI8 length mismatch")

@@ -14,10 +14,10 @@ import (
 )
 
 // Dot returns the inner product <a, b>. The slices must have equal length.
+//
+//pbg:hotpath
 func Dot(a, b []float32) float32 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
-	}
+	checkPair("Dot", a, b)
 	// Four-way unrolled accumulation: measurably faster than the naive loop
 	// and keeps rounding error lower by splitting the accumulator.
 	var s0, s1, s2, s3 float32
@@ -41,10 +41,10 @@ func Norm(a []float32) float32 {
 }
 
 // SquaredDistance returns ||a-b||².
+//
+//pbg:hotpath
 func SquaredDistance(a, b []float32) float32 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vec: SquaredDistance length mismatch %d != %d", len(a), len(b)))
-	}
+	checkPair("SquaredDistance", a, b)
 	var s float32
 	for i := range a {
 		d := a[i] - b[i]
@@ -65,10 +65,10 @@ func Cosine(a, b []float32) float32 {
 }
 
 // Axpy computes y += alpha * x in place.
+//
+//pbg:hotpath
 func Axpy(alpha float32, x, y []float32) {
-	if len(x) != len(y) {
-		panic(fmt.Sprintf("vec: Axpy length mismatch %d != %d", len(x), len(y)))
-	}
+	checkPair("Axpy", x, y)
 	if alpha == 0 {
 		return
 	}
@@ -78,6 +78,8 @@ func Axpy(alpha float32, x, y []float32) {
 }
 
 // Scale multiplies x by alpha in place.
+//
+//pbg:hotpath
 func Scale(alpha float32, x []float32) {
 	for i := range x {
 		x[i] *= alpha
@@ -85,6 +87,8 @@ func Scale(alpha float32, x []float32) {
 }
 
 // Add computes dst = a + b elementwise.
+//
+//pbg:hotpath
 func Add(dst, a, b []float32) {
 	checkTriple("Add", dst, a, b)
 	for i := range dst {
@@ -93,6 +97,8 @@ func Add(dst, a, b []float32) {
 }
 
 // Sub computes dst = a - b elementwise.
+//
+//pbg:hotpath
 func Sub(dst, a, b []float32) {
 	checkTriple("Sub", dst, a, b)
 	for i := range dst {
@@ -101,6 +107,8 @@ func Sub(dst, a, b []float32) {
 }
 
 // Mul computes dst = a ⊙ b (Hadamard product).
+//
+//pbg:hotpath
 func Mul(dst, a, b []float32) {
 	checkTriple("Mul", dst, a, b)
 	for i := range dst {
@@ -109,6 +117,8 @@ func Mul(dst, a, b []float32) {
 }
 
 // MulAdd computes dst += a ⊙ b.
+//
+//pbg:hotpath
 func MulAdd(dst, a, b []float32) {
 	checkTriple("MulAdd", dst, a, b)
 	for i := range dst {
@@ -122,15 +132,48 @@ func checkTriple(op string, dst, a, b []float32) {
 	}
 }
 
-// Copy copies src into dst (lengths must match).
-func Copy(dst, src []float32) {
-	if len(dst) != len(src) {
-		panic(fmt.Sprintf("vec: Copy length mismatch %d != %d", len(dst), len(src)))
+// checkPair is the two-operand shape check. It lives outside the kernels so
+// the //pbg:hotpath bodies stay free of fmt formatting (the panic message
+// is only built on the failure path, but the lint contract is lexical).
+func checkPair(op string, a, b []float32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: %s length mismatch %d != %d", op, len(a), len(b)))
 	}
+}
+
+func checkMulABt(c, a, b Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("vec: MulABt inner dim mismatch %d != %d", a.Cols, b.Cols))
+	}
+	if c.Rows != a.Rows || c.Cols != b.Rows {
+		panic(fmt.Sprintf("vec: MulABt output %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Rows))
+	}
+}
+
+func checkOuter(op string, a, g, b Matrix) {
+	if g.Rows != a.Rows || g.Cols != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("vec: %s shape mismatch g=%dx%d a=%dx%d b=%dx%d",
+			op, g.Rows, g.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func checkMatVec(op string, a Matrix, nx, ny, wantX, wantY int) {
+	if nx != wantX || ny != wantY {
+		panic(fmt.Sprintf("vec: %s shapes a=%dx%d x=%d y=%d", op, a.Rows, a.Cols, nx, ny))
+	}
+}
+
+// Copy copies src into dst (lengths must match).
+//
+//pbg:hotpath
+func Copy(dst, src []float32) {
+	checkPair("Copy", dst, src)
 	copy(dst, src)
 }
 
 // Zero clears x.
+//
+//pbg:hotpath
 func Zero(x []float32) {
 	for i := range x {
 		x[i] = 0
@@ -189,13 +232,10 @@ func (m Matrix) Row(i int) []float32 {
 // loads for the row-times-row formulation. (A 4×4 tile's 16 accumulators
 // spill out of the 16 XMM registers on amd64 and measure slower than naive;
 // 8 is the sweet spot for Go's scalar codegen.)
+//
+//pbg:hotpath
 func MulABt(c, a, b Matrix) {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("vec: MulABt inner dim mismatch %d != %d", a.Cols, b.Cols))
-	}
-	if c.Rows != a.Rows || c.Cols != b.Rows {
-		panic(fmt.Sprintf("vec: MulABt output %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Rows))
-	}
+	checkMulABt(c, a, b)
 	n, m, d := a.Rows, b.Rows, a.Cols
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -254,11 +294,10 @@ func MulABt(c, a, b Matrix) {
 // loaded once per two A rows. Tiles whose 8 G coefficients are all zero
 // (fully masked score blocks, or ranking-loss chunks with no margin
 // violations) are skipped.
+//
+//pbg:hotpath
 func AddOuterAtB(a, g, b Matrix) {
-	if g.Rows != a.Rows || g.Cols != b.Rows || a.Cols != b.Cols {
-		panic(fmt.Sprintf("vec: AddOuterAtB shape mismatch g=%dx%d a=%dx%d b=%dx%d",
-			g.Rows, g.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
-	}
+	checkOuter("AddOuterAtB", a, g, b)
 	n, m, d := a.Rows, b.Rows, a.Cols
 	i := 0
 	for ; i+2 <= n; i += 2 {
@@ -305,11 +344,10 @@ func AddOuterAtB(a, g, b Matrix) {
 // argument. Register-blocked 2×4 with the tile roles of AddOuterAtB
 // transposed: a 2-row tile of B accumulates against a 4-row tile of A, with
 // all-zero coefficient tiles skipped.
+//
+//pbg:hotpath
 func AddOuterGtA(b, g, a Matrix) {
-	if g.Rows != a.Rows || g.Cols != b.Rows || a.Cols != b.Cols {
-		panic(fmt.Sprintf("vec: AddOuterGtA shape mismatch g=%dx%d a=%dx%d b=%dx%d",
-			g.Rows, g.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
-	}
+	checkOuter("AddOuterGtA", a, g, b)
 	n, m, d := a.Rows, b.Rows, a.Cols
 	j := 0
 	for ; j+2 <= m; j += 2 {
@@ -354,20 +392,20 @@ func AddOuterGtA(b, g, a Matrix) {
 }
 
 // MatVec computes y = A · x where A is (n×d) and x has length d.
+//
+//pbg:hotpath
 func MatVec(y []float32, a Matrix, x []float32) {
-	if len(x) != a.Cols || len(y) != a.Rows {
-		panic(fmt.Sprintf("vec: MatVec shapes a=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
-	}
+	checkMatVec("MatVec", a, len(x), len(y), a.Cols, a.Rows)
 	for i := range y {
 		y[i] = Dot(a.Row(i), x)
 	}
 }
 
 // MatTVec computes y = Aᵀ · x where A is (n×d) and x has length n.
+//
+//pbg:hotpath
 func MatTVec(y []float32, a Matrix, x []float32) {
-	if len(x) != a.Rows || len(y) != a.Cols {
-		panic(fmt.Sprintf("vec: MatTVec shapes a=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
-	}
+	checkMatVec("MatTVec", a, len(x), len(y), a.Rows, a.Cols)
 	Zero(y)
 	for i := 0; i < a.Rows; i++ {
 		Axpy(x[i], a.Row(i), y)
@@ -377,6 +415,8 @@ func MatTVec(y []float32, a Matrix, x []float32) {
 // ComplexMul computes dst = a ∘ b where vectors of even length d are treated
 // as d/2 complex numbers laid out [re₀..re_{d/2-1}, im₀..im_{d/2-1}], the
 // layout ComplEx uses. dst may alias neither a nor b.
+//
+//pbg:hotpath
 func ComplexMul(dst, a, b []float32) {
 	checkTriple("ComplexMul", dst, a, b)
 	h := len(a) / 2
@@ -394,6 +434,8 @@ func ComplexMul(dst, a, b []float32) {
 // ComplexMulConj computes dst = a ∘ conj(b) with the same layout as
 // ComplexMul. Used in the backward pass of the ComplEx operator:
 // d/dx (x∘w · g) = g ∘ conj(w) under the real inner product.
+//
+//pbg:hotpath
 func ComplexMulConj(dst, a, b []float32) {
 	checkTriple("ComplexMulConj", dst, a, b)
 	h := len(a) / 2
@@ -409,6 +451,8 @@ func ComplexMulConj(dst, a, b []float32) {
 }
 
 // LogSigmoid returns log(σ(x)) computed in a numerically stable way.
+//
+//pbg:hotpath
 func LogSigmoid(x float32) float32 {
 	// log σ(x) = -log(1+e^{-x}) = min(x,0) - log(1+e^{-|x|})
 	xf := float64(x)
@@ -416,6 +460,8 @@ func LogSigmoid(x float32) float32 {
 }
 
 // Sigmoid returns σ(x) = 1/(1+e^{-x}).
+//
+//pbg:hotpath
 func Sigmoid(x float32) float32 {
 	return float32(1 / (1 + math.Exp(-float64(x))))
 }

@@ -306,13 +306,13 @@ func (m *Model) Checkpoint(dir string) error {
 			}
 			dst, err := ds.Acquire(ti, p)
 			if err != nil {
-				m.store.Release(ti, p) // don't pin the live shard on failure
+				_ = m.store.Release(ti, p) // don't pin the live shard on failure
 				return err
 			}
 			copy(dst.Embs, src.Embs)
 			copy(dst.Acc, src.Acc)
 			if err := ds.Release(ti, p); err != nil {
-				m.store.Release(ti, p)
+				_ = m.store.Release(ti, p)
 				return err
 			}
 			if err := m.store.Release(ti, p); err != nil {
